@@ -1,0 +1,53 @@
+//! Bench target regenerating the **ablation tables** (PUB/PCB knobs,
+//! PCB arrangement, eADR, operation mixes) and measuring the simulator
+//! at the extreme knob settings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_experiments::ablation;
+use thoth_experiments::runner::{sim_config, ExpSettings, TraceCache};
+use thoth_sim::{Mode, PcbArrangement};
+use thoth_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+    for t in ablation::run(settings) {
+        println!("{}", t.render());
+    }
+
+    let mut cache = TraceCache::new(settings);
+    let trace = cache.get(WorkloadKind::Btree, 128);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    for (label, pub_bytes) in [("pub-256k", 256u64 << 10), ("pub-32m", 32 << 20)] {
+        let mut cfg = sim_config(Mode::thoth_wtsc(), 128);
+        cfg.pub_size_bytes = pub_bytes;
+        let trace = trace.clone();
+        group.bench_function(format!("simulate-btree-{label}"), |b| {
+            b.iter(|| black_box(thoth_sim::run_trace(&cfg, &trace)));
+        });
+    }
+    {
+        let mut cfg = sim_config(Mode::thoth_wtsc(), 128);
+        cfg.pcb_arrangement = PcbArrangement::AfterWpq;
+        let trace = trace.clone();
+        group.bench_function("simulate-btree-after-wpq", |b| {
+            b.iter(|| black_box(thoth_sim::run_trace(&cfg, &trace)));
+        });
+    }
+    {
+        let cfg = sim_config(Mode::eadr(), 128);
+        group.bench_function("simulate-btree-eadr", |b| {
+            b.iter(|| black_box(thoth_sim::run_trace(&cfg, &trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench target regenerating **Figure 10** (speedup vs transaction size)
+//! and **Tables II & III**, measuring the simulator across transaction
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_experiments::runner::{sim_config, ExpSettings, TraceCache};
+use thoth_experiments::txsweep;
+use thoth_sim::Mode;
+use thoth_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+    for t in txsweep::run(settings, &[128, 512]) {
+        println!("{}", t.render());
+    }
+
+    let mut cache = TraceCache::new(settings);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for tx in [128usize, 512] {
+        let trace = cache.get(WorkloadKind::Btree, tx);
+        let cfg = sim_config(Mode::thoth_wtsc(), 128);
+        group.bench_function(format!("simulate-btree-tx{tx}"), |b| {
+            b.iter(|| black_box(thoth_sim::run_trace(&cfg, &trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench target regenerating **Figure 11** (speedup vs secure metadata
+//! cache size) and measuring the simulator at the smallest and largest
+//! cache points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_experiments::cachesweep;
+use thoth_experiments::runner::{sim_config, ExpSettings, TraceCache};
+use thoth_sim::Mode;
+use thoth_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+    for t in cachesweep::run(settings) {
+        println!("{}", t.render());
+    }
+
+    let mut cache = TraceCache::new(settings);
+    let trace = cache.get(WorkloadKind::Hashmap, 128);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for (ctr, mac, label) in [
+        (64usize << 10, 128usize << 10, "64k-128k"),
+        (1 << 20, 2 << 20, "1m-2m"),
+    ] {
+        let mut cfg = sim_config(Mode::thoth_wtsc(), 128);
+        cfg.ctr_cache_bytes = ctr;
+        cfg.mac_cache_bytes = mac;
+        let trace = trace.clone();
+        group.bench_function(format!("simulate-hashmap-{label}"), |b| {
+            b.iter(|| black_box(thoth_sim::run_trace(&cfg, &trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench target regenerating **Figure 12** (speedup vs WPQ size) and
+//! measuring the simulator under a shrunken WPQ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_experiments::runner::{sim_config, ExpSettings, TraceCache};
+use thoth_experiments::wpqsweep;
+use thoth_sim::Mode;
+use thoth_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+    for t in wpqsweep::run(settings) {
+        println!("{}", t.render());
+    }
+
+    let mut cache = TraceCache::new(settings);
+    let trace = cache.get(WorkloadKind::Btree, 128);
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for wpq in [64usize, 16] {
+        for (label, mode) in [("baseline", Mode::baseline()), ("thoth", Mode::thoth_wtsc())] {
+            let mut cfg = sim_config(mode, 128);
+            cfg.wpq_entries = wpq;
+            cfg.pcb_entries = (wpq / 8).max(1);
+            let trace = trace.clone();
+            group.bench_function(format!("simulate-btree-{label}-wpq{wpq}"), |b| {
+                b.iter(|| black_box(thoth_sim::run_trace(&cfg, &trace)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

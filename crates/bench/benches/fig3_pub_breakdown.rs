@@ -1,0 +1,51 @@
+//! Bench target regenerating **Figure 3** (PUB eviction breakdown vs
+//! FIFO size) and measuring the trace-analysis engine's throughput.
+//!
+//! The figure's rows are printed once at startup; the measured kernel is
+//! the hypothetical-FIFO replay over a workload's metadata-update stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_cache::CacheConfig;
+use thoth_core::analysis::PubAnalysis;
+use thoth_core::EvictionPolicy;
+use thoth_experiments::fig3;
+use thoth_experiments::runner::ExpSettings;
+use thoth_workloads::{spec, WorkloadKind};
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+
+    // Regenerate the figure (scaled-down FIFO sizes for bench brevity).
+    let (table, _) = fig3::run(settings, &[20_000, 2_000, 50]);
+    println!("{}", table.render());
+
+    let trace = spec::generate(settings.workload(WorkloadKind::Hashmap, 128));
+    let (ctr_stream, _) = fig3::metadata_streams(&trace, 128);
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for fifo in [50usize, 2_000, 20_000] {
+        group.bench_function(format!("replay-hashmap-fifo{fifo}"), |b| {
+            b.iter(|| {
+                let mut a = PubAnalysis::new(
+                    CacheConfig::new(64 << 10, 4, 128),
+                    fifo,
+                    EvictionPolicy::Wtbc,
+                );
+                for u in &ctr_stream {
+                    a.record(*u);
+                }
+                black_box(a.breakdown())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench target regenerating **Figure 8** (speedup), **Figure 9**
+//! (normalized writes) and the **§V-F** Anubis comparison, and measuring
+//! the full-system simulator on the headline configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_experiments::headline;
+use thoth_experiments::runner::{sim_config, ExpSettings, TraceCache};
+use thoth_sim::Mode;
+use thoth_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+
+    // Regenerate the tables once.
+    for t in headline::run(settings) {
+        println!("{}", t.render());
+    }
+
+    let mut cache = TraceCache::new(settings);
+    let trace = cache.get(WorkloadKind::Ctree, 128);
+
+    let mut group = c.benchmark_group("fig8-fig9");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for (label, mode) in [
+        ("baseline", Mode::baseline()),
+        ("thoth-wtsc", Mode::thoth_wtsc()),
+        ("thoth-wtbc", Mode::thoth_wtbc()),
+        ("anubis-ecc", Mode::AnubisEcc),
+    ] {
+        let cfg = sim_config(mode, 128);
+        let trace = trace.clone();
+        group.bench_function(format!("simulate-ctree-{label}"), |b| {
+            b.iter(|| black_box(thoth_sim::run_trace(&cfg, &trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench target regenerating the **Section IV-D** recovery tables and
+//! measuring crash + recovery in full functional mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_experiments::recovery;
+use thoth_experiments::runner::ExpSettings;
+use thoth_sim::{FunctionalMode, Mode, SecureNvm, SimConfig};
+use thoth_workloads::spec;
+use thoth_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+    for t in recovery::run(settings) {
+        println!("{}", t.render());
+    }
+
+    let mut wl = settings.workload(WorkloadKind::Swap, 128);
+    wl.txs_per_core = 50;
+    wl.warmup_txs_per_core = 10;
+    let trace = spec::generate(wl);
+    let mut cfg = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+    cfg.functional = FunctionalMode::Full;
+    cfg.pub_size_bytes = 64 << 10;
+    cfg.pub_prefill = false;
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("run-crash-recover-swap", |b| {
+        b.iter(|| {
+            let mut m = SecureNvm::new(cfg.clone());
+            m.run(&trace);
+            m.crash();
+            let rec = m.recover();
+            assert!(rec.is_clean());
+            black_box(rec)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the substrates (ablation-style): AES, SipHash,
+//! two-level MACs, split-counter packing, Merkle-tree updates, the
+//! set-associative cache, and the PUB block codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_cache::{CacheConfig, SetAssocCache};
+use thoth_core::{PartialUpdate, PubBlockCodec};
+use thoth_crypto::counter::CounterGroup;
+use thoth_crypto::{Aes128, CtrMode, MacEngine, MacKey, SipHash24};
+use thoth_merkle::{BonsaiTree, MerkleConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    let aes = Aes128::new(b"0123456789abcdef");
+    group.bench_function("aes128-encrypt-block", |b| {
+        b.iter(|| black_box(aes.encrypt_block(black_box(&[7u8; 16]))));
+    });
+
+    let sip = SipHash24::new(1, 2);
+    group.bench_function("siphash24-64B", |b| {
+        b.iter(|| black_box(sip.hash(black_box(&[5u8; 64]))));
+    });
+
+    let ctr = CtrMode::new(b"0123456789abcdef");
+    group.bench_function("ctr-encrypt-128B-block", |b| {
+        b.iter(|| black_box(ctr.encrypt(0x1000, 3, 4, black_box(&[9u8; 128]))));
+    });
+
+    let mac = MacEngine::new(MacKey([3u8; 16]));
+    group.bench_function("two-level-mac-128B", |b| {
+        b.iter(|| black_box(mac.both_levels(0x1000, 3, 4, black_box(&[9u8; 128]))));
+    });
+
+    group.bench_function("counter-group-pack-unpack", |b| {
+        let mut g = CounterGroup::new(32);
+        g.increment(7);
+        b.iter(|| {
+            let img = g.to_bytes();
+            black_box(CounterGroup::from_bytes(&img, 32))
+        });
+    });
+
+    group.bench_function("merkle-update-leaf-10-level", |b| {
+        let mut t = BonsaiTree::new(MerkleConfig::new(8, 8u64.pow(9)), 42);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 12345) % 8u64.pow(9);
+            black_box(t.update_leaf(i, i))
+        });
+    });
+
+    group.bench_function("cache-lookup-insert", |b| {
+        let mut cache: SetAssocCache<u64> =
+            SetAssocCache::new(CacheConfig::new(64 << 10, 4, 64));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37);
+            let addr = (i % 100_000) * 64;
+            if cache.lookup(addr).is_none() {
+                cache.insert(addr, i);
+            }
+            black_box(cache.len())
+        });
+    });
+
+    let codec = PubBlockCodec::new(128);
+    let updates: Vec<PartialUpdate> = (0..9)
+        .map(|i| PartialUpdate {
+            block_index: i * 1000,
+            minor: (i % 128) as u8,
+            mac2: u64::from(i) * 31,
+            ctr_status: true,
+            mac_status: false,
+        })
+        .collect();
+    group.bench_function("pub-codec-encode-decode-128B", |b| {
+        b.iter(|| {
+            let img = codec.encode(black_box(&updates));
+            black_box(codec.decode(&img))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,556 @@
+//! Set-associative write-back cache substrate.
+//!
+//! The secure metadata caches of the paper (counter cache, MAC cache,
+//! Merkle-tree cache — Table I) and the volatile data LLC model are all
+//! instances of [`SetAssocCache`]: a generic, LRU, write-back,
+//! set-associative cache keyed by block address.
+//!
+//! Two features exist specifically for Thoth:
+//!
+//! * **Block dirty state is observable before mutation** — the WTSC policy
+//!   records "was the block already dirty when this partial update
+//!   arrived?" as the PUB entry's status bit (Section IV-B).
+//! * **Per-subblock dirty bitmasks** — the WTBC policy tracks dirtiness of
+//!   individual counters/MACs within a metadata block; the mask is carried
+//!   on each line and returned with evictions.
+//!
+//! # Example
+//!
+//! ```
+//! use thoth_cache::{CacheConfig, SetAssocCache};
+//!
+//! // The paper's counter cache: 64 kB, 4-way, 64 B blocks.
+//! let mut cache: SetAssocCache<Vec<u8>> =
+//!     SetAssocCache::new(CacheConfig::new(64 * 1024, 4, 64));
+//! cache.insert(0x1000, vec![0; 64]);
+//! assert!(cache.contains(0x1000));
+//! assert!(!cache.is_dirty(0x1000));
+//! cache.mark_dirty(0x1000, Some(3));
+//! assert!(cache.is_dirty(0x1000));
+//! assert_eq!(cache.dirty_mask(0x1000), 1 << 3);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Configuration of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Block (line) size in bytes; also the address alignment.
+    pub block_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity_bytes` is a positive multiple of
+    /// `ways * block_bytes`.
+    #[must_use]
+    pub fn new(capacity_bytes: usize, ways: usize, block_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0 && ways > 0 && block_bytes > 0);
+        assert_eq!(
+            capacity_bytes % (ways * block_bytes),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            block_bytes,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * self.block_bytes)
+    }
+
+    /// Total number of lines.
+    #[must_use]
+    pub fn num_lines(&self) -> usize {
+        self.capacity_bytes / self.block_bytes
+    }
+}
+
+/// A line evicted from (or removed out of) the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<V> {
+    /// Block-aligned address of the line.
+    pub addr: u64,
+    /// The cached payload.
+    pub value: V,
+    /// Whether the line was dirty (needs write-back).
+    pub dirty: bool,
+    /// Per-subblock dirty bits (bit *i* = subblock *i* was updated).
+    pub dirty_mask: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Line<V> {
+    addr: u64,
+    value: V,
+    dirty: bool,
+    dirty_mask: u64,
+    last_use: u64,
+}
+
+/// Running hit/miss/eviction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Evictions of dirty lines (write-backs).
+    pub dirty_evictions: u64,
+    /// Evictions of clean lines.
+    pub clean_evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`, or `None` before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// A generic LRU set-associative write-back cache keyed by block address.
+///
+/// Addresses are block-aligned internally; callers may pass any byte
+/// address within the block.
+pub struct SetAssocCache<V> {
+    config: CacheConfig,
+    sets: Vec<Vec<Line<V>>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.num_sets()).map(|_| Vec::new()).collect();
+        SetAssocCache {
+            config,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn align(&self, addr: u64) -> u64 {
+        addr - addr % self.config.block_bytes as u64
+    }
+
+    fn set_index(&self, block_addr: u64) -> usize {
+        ((block_addr / self.config.block_bytes as u64) % self.config.num_sets() as u64) as usize
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `addr`, counting a hit or miss and refreshing LRU on hit.
+    /// Returns a shared reference to the payload.
+    pub fn lookup(&mut self, addr: u64) -> Option<&V> {
+        self.lookup_mut(addr).map(|v| &*v)
+    }
+
+    /// Looks up `addr` mutably, counting a hit or miss and refreshing LRU.
+    pub fn lookup_mut(&mut self, addr: u64) -> Option<&mut V> {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        let tick = self.bump();
+        let line = self.sets[set].iter_mut().find(|l| l.addr == block);
+        match line {
+            Some(l) => {
+                l.last_use = tick;
+                self.stats.hits += 1;
+                Some(&mut l.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks residency without touching LRU or statistics.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        self.sets[set].iter().any(|l| l.addr == block)
+    }
+
+    /// Reads the payload without touching LRU or statistics.
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> Option<&V> {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.addr == block)
+            .map(|l| &l.value)
+    }
+
+    /// Whether the block is resident and dirty. Non-resident blocks are
+    /// reported clean. Does not touch LRU or statistics — WTSC reads this
+    /// *before* applying a partial update.
+    #[must_use]
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.addr == block)
+            .is_some_and(|l| l.dirty)
+    }
+
+    /// The per-subblock dirty mask of a resident block (0 if absent).
+    #[must_use]
+    pub fn dirty_mask(&self, addr: u64) -> u64 {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.addr == block)
+            .map_or(0, |l| l.dirty_mask)
+    }
+
+    /// Inserts a *clean* block, evicting the LRU line of the set if full.
+    ///
+    /// Fetching a block from memory inserts it clean with a zero mask
+    /// ("upon a fetch of a security metadata block, all dirty bits ... are
+    /// set to 0", Section IV-B). Returns the evicted line, if any.
+    ///
+    /// Inserting over an existing line replaces its payload and clears its
+    /// dirty state (the caller is assumed to have persisted it).
+    pub fn insert(&mut self, addr: u64, value: V) -> Option<Evicted<V>> {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        let tick = self.bump();
+
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == block) {
+            l.value = value;
+            l.dirty = false;
+            l.dirty_mask = 0;
+            l.last_use = tick;
+            return None;
+        }
+
+        let mut evicted = None;
+        if self.sets[set].len() >= self.config.ways {
+            let lru = self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            let old = self.sets[set].swap_remove(lru);
+            if old.dirty {
+                self.stats.dirty_evictions += 1;
+            } else {
+                self.stats.clean_evictions += 1;
+            }
+            evicted = Some(Evicted {
+                addr: old.addr,
+                value: old.value,
+                dirty: old.dirty,
+                dirty_mask: old.dirty_mask,
+            });
+        }
+        self.sets[set].push(Line {
+            addr: block,
+            value,
+            dirty: false,
+            dirty_mask: 0,
+            last_use: tick,
+        });
+        evicted
+    }
+
+    /// Marks a resident block dirty, optionally setting one subblock bit.
+    ///
+    /// Returns `true` if the block was resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subblock` is 64 or more (the mask is 64 bits wide).
+    pub fn mark_dirty(&mut self, addr: u64, subblock: Option<usize>) -> bool {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        let tick = self.bump();
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == block) {
+            l.dirty = true;
+            if let Some(i) = subblock {
+                assert!(i < 64, "subblock index {i} out of mask range");
+                l.dirty_mask |= 1 << i;
+            }
+            l.last_use = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears the dirty state of a resident block (after persisting it).
+    /// Returns `true` if the block was resident.
+    pub fn clean(&mut self, addr: u64) -> bool {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == block) {
+            l.dirty = false;
+            l.dirty_mask = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a block, returning it.
+    pub fn remove(&mut self, addr: u64) -> Option<Evicted<V>> {
+        let block = self.align(addr);
+        let set = self.set_index(block);
+        let idx = self.sets[set].iter().position(|l| l.addr == block)?;
+        let old = self.sets[set].swap_remove(idx);
+        Some(Evicted {
+            addr: old.addr,
+            value: old.value,
+            dirty: old.dirty,
+            dirty_mask: old.dirty_mask,
+        })
+    }
+
+    /// Drains every line (a crash dropping volatile state, or a flush).
+    /// Lines are returned in unspecified order.
+    pub fn drain(&mut self) -> Vec<Evicted<V>> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for l in set.drain(..) {
+                out.push(Evicted {
+                    addr: l.addr,
+                    value: l.value,
+                    dirty: l.dirty,
+                    dirty_mask: l.dirty_mask,
+                });
+            }
+        }
+        out
+    }
+
+    /// Iterates over `(addr, &value, dirty, dirty_mask)` of all lines.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V, bool, u64)> {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|l| (l.addr, &l.value, l.dirty, l.dirty_mask))
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no lines are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V> fmt::Debug for SetAssocCache<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("config", &self.config)
+            .field("resident", &self.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u32> {
+        // 2 sets x 2 ways x 64 B blocks.
+        SetAssocCache::new(CacheConfig::new(256, 2, 64))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new(64 * 1024, 4, 64);
+        assert_eq!(c.num_sets(), 256);
+        assert_eq!(c.num_lines(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn bad_config_panics() {
+        let _ = CacheConfig::new(1000, 3, 64);
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = small();
+        assert!(c.lookup(0x0).is_none());
+        c.insert(0x0, 1);
+        assert_eq!(c.lookup(0x0), Some(&1));
+        assert_eq!(c.lookup(0x3f), Some(&1), "same block, any byte");
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hit_rate(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Set 0 holds blocks 0x000 and 0x080 (stride = block * num_sets = 128).
+        c.insert(0x000, 10);
+        c.insert(0x080, 20);
+        c.lookup(0x000); // make 0x080 the LRU
+        let ev = c.insert(0x100, 30).expect("eviction");
+        assert_eq!(ev.addr, 0x080);
+        assert!(!ev.dirty);
+        assert!(c.contains(0x000));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn dirty_state_and_mask() {
+        let mut c = small();
+        c.insert(0x0, 5);
+        assert!(!c.is_dirty(0x0));
+        assert!(c.mark_dirty(0x0, Some(2)));
+        assert!(c.mark_dirty(0x0, Some(7)));
+        assert!(c.is_dirty(0x0));
+        assert_eq!(c.dirty_mask(0x0), (1 << 2) | (1 << 7));
+        assert!(c.clean(0x0));
+        assert!(!c.is_dirty(0x0));
+        assert_eq!(c.dirty_mask(0x0), 0);
+        // Non-resident blocks: clean, zero mask, mark fails.
+        assert!(!c.is_dirty(0x4000));
+        assert_eq!(c.dirty_mask(0x4000), 0);
+        assert!(!c.mark_dirty(0x4000, None));
+    }
+
+    #[test]
+    fn eviction_carries_dirty_mask() {
+        let mut c = small();
+        c.insert(0x000, 1);
+        c.mark_dirty(0x000, Some(5));
+        c.insert(0x080, 2);
+        // mark_dirty refreshed 0x000's LRU stamp; touch 0x080 so 0x000
+        // becomes the victim.
+        c.lookup(0x080);
+        let ev = c.insert(0x100, 3).unwrap();
+        assert_eq!(ev.addr, 0x000);
+        assert!(ev.dirty);
+        assert_eq!(ev.dirty_mask, 1 << 5);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_clears_dirty() {
+        let mut c = small();
+        c.insert(0x0, 1);
+        c.mark_dirty(0x0, Some(0));
+        assert!(c.insert(0x0, 2).is_none(), "replacement, not eviction");
+        assert!(!c.is_dirty(0x0));
+        assert_eq!(c.peek(0x0), Some(&2));
+    }
+
+    #[test]
+    fn remove_and_drain() {
+        let mut c = small();
+        c.insert(0x000, 1);
+        c.insert(0x040, 2);
+        c.mark_dirty(0x040, None);
+        let r = c.remove(0x040).unwrap();
+        assert!(r.dirty);
+        assert_eq!(r.value, 2);
+        assert_eq!(c.len(), 1);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].addr, 0x000);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_or_stats() {
+        let mut c = small();
+        c.insert(0x000, 1);
+        c.insert(0x080, 2);
+        let before = c.stats();
+        assert_eq!(c.peek(0x000), Some(&1));
+        assert_eq!(c.stats(), before);
+        // 0x000 is still LRU (insert order), so it gets evicted.
+        let ev = c.insert(0x100, 3).unwrap();
+        assert_eq!(ev.addr, 0x000);
+    }
+
+    #[test]
+    fn capacity_respected_per_set() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.insert(i * 64, i as u32);
+        }
+        assert!(c.len() <= c.config().num_lines());
+        for set_lines in &c.sets {
+            assert!(set_lines.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn lookup_mut_mutates_payload() {
+        let mut c = small();
+        c.insert(0x0, 7);
+        *c.lookup_mut(0x0).unwrap() = 9;
+        assert_eq!(c.peek(0x0), Some(&9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of mask range")]
+    fn oversized_subblock_panics() {
+        let mut c = small();
+        c.insert(0x0, 1);
+        c.mark_dirty(0x0, Some(64));
+    }
+
+    #[test]
+    fn iter_reports_all_lines() {
+        let mut c = small();
+        c.insert(0x000, 1);
+        c.insert(0x040, 2);
+        c.mark_dirty(0x000, Some(1));
+        let mut seen: Vec<_> = c.iter().map(|(a, v, d, m)| (a, *v, d, m)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0x000, 1, true, 2), (0x040, 2, false, 0)]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the set-associative cache against a reference model.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use thoth_cache::{CacheConfig, SetAssocCache};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Insert(u64, u32),
+    MarkDirty(u64, usize),
+    Clean(u64),
+    Remove(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = (0u64..32).prop_map(|a| a * 64);
+    prop_oneof![
+        addr.clone().prop_map(Op::Lookup),
+        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::Insert(a, v)),
+        (addr.clone(), 0usize..64).prop_map(|(a, s)| Op::MarkDirty(a, s)),
+        addr.clone().prop_map(Op::Clean),
+        addr.prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the op sequence, a resident block's payload equals the
+    /// last value inserted for it, capacity bounds hold, and dirty state
+    /// follows mark/clean/insert semantics.
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..300)) {
+        let cfg = CacheConfig::new(512, 2, 64); // 4 sets x 2 ways
+        let mut cache: SetAssocCache<u32> = SetAssocCache::new(cfg);
+        // Reference: value and dirtiness of the last state per address
+        // (only checked when resident — evictions are the cache's choice).
+        let mut model: HashMap<u64, (u32, bool, u64)> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Lookup(a) => {
+                    if let Some(&v) = cache.lookup(a) {
+                        prop_assert_eq!(v, model[&a].0, "payload mismatch");
+                    }
+                }
+                Op::Insert(a, v) => {
+                    cache.insert(a, v);
+                    model.insert(a, (v, false, 0));
+                }
+                Op::MarkDirty(a, s) => {
+                    let was = cache.contains(a);
+                    let ok = cache.mark_dirty(a, Some(s));
+                    prop_assert_eq!(ok, was);
+                    if let Some(e) = model.get_mut(&a) {
+                        if was {
+                            e.1 = true;
+                            e.2 |= 1 << s;
+                        }
+                    }
+                }
+                Op::Clean(a) => {
+                    cache.clean(a);
+                    if let Some(e) = model.get_mut(&a) {
+                        e.1 = false;
+                        e.2 = 0;
+                    }
+                }
+                Op::Remove(a) => {
+                    cache.remove(a);
+                    model.remove(&a);
+                }
+            }
+            // Invariants after every op:
+            prop_assert!(cache.len() <= cfg.num_lines());
+            for (addr, v, dirty, mask) in cache.iter() {
+                let (mv, mdirty, mmask) = model[&addr];
+                prop_assert_eq!(*v, mv);
+                prop_assert_eq!(dirty, mdirty);
+                prop_assert_eq!(mask, mmask);
+                prop_assert_eq!(dirty, mask != 0 || dirty && mask == 0);
+            }
+        }
+    }
+
+    /// Evictions only happen when a set is full, and always evict from
+    /// the same set as the incoming block.
+    #[test]
+    fn evictions_stay_within_the_set(addrs in proptest::collection::vec(0u64..64, 1..200)) {
+        let cfg = CacheConfig::new(512, 2, 64); // 4 sets
+        let sets = cfg.num_sets() as u64;
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(cfg);
+        for a in addrs {
+            let addr = a * 64;
+            if let Some(ev) = cache.insert(addr, ()) {
+                prop_assert_eq!(
+                    (ev.addr / 64) % sets,
+                    (addr / 64) % sets,
+                    "evicted from a different set"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Thoth's core contribution (Sections III & IV of the paper): the
+//! off-chip **Partial Updates Buffer (PUB)** and everything around it.
+//!
+//! The problem: in emerging memory interfaces (DDR-T, CXL, DDR5 with
+//! on-die ECC) there are no host-visible ECC bits to co-locate security
+//! metadata with data, so a crash-consistent secure NVM must persist the
+//! counter block and the MAC block as two *extra full-block writes* per
+//! data write. Thoth replaces those with *partial updates* — just the
+//! changed 7-bit minor counter and an 8 B second-level MAC — packed
+//! densely into blocks and buffered in a large persistent FIFO in NVM.
+//! Buffered long enough, most partial updates never require a metadata
+//! block persist at all: the block was naturally written back, a newer
+//! update superseded the entry, or a sibling eviction already persisted it.
+//!
+//! Modules:
+//!
+//! * [`entry`] — the 105-bit partial-update entry `{address, MAC, counter,
+//!   status}` and its bit-packed block encoding (9 entries per 128 B
+//!   block, 19 per 256 B),
+//! * [`pcb`] — the Persistent Combining Buffer: reserved ADR-backed WPQ
+//!   entries that coalesce partial updates before they are written to the
+//!   PUB (the augmented PCB-before-WPQ design of Section IV-C),
+//! * [`pub_buffer`] — the circular FIFO PUB in NVM with its start/end
+//!   registers and the 80%-occupancy eviction trigger,
+//! * [`engine`] — the whole mechanism behind one host-agnostic interface
+//!   ([`ThothEngine`]), ready to drop into any memory-controller model,
+//! * [`policy`] — the WTSC and WTBC eviction-filtering policies
+//!   (Section IV-B) deciding whether an evicted partial update still
+//!   requires a metadata block persist,
+//! * [`analysis`] — the trace-driven hypothetical-FIFO analysis behind
+//!   Figure 3 (eviction-outcome breakdown vs. buffer size),
+//! * [`recovery`] — the PUB scan/merge order and the recovery-time model
+//!   of Section IV-D.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod engine;
+pub mod entry;
+pub mod pcb;
+pub mod policy;
+pub mod pub_buffer;
+pub mod recovery;
+
+pub use engine::{ThothEngine, ThothHost};
+pub use entry::{PartialUpdate, PubBlockCodec};
+pub use pcb::{Pcb, PcbInsert, PcbStats};
+pub use policy::{BlockView, EvictOutcome, EvictionPolicy, MetadataKind};
+pub use pub_buffer::{PubBuffer, PubConfig};

@@ -1,0 +1,234 @@
+//! PUB eviction-filtering policies: WTSC and WTBC (Section IV-B).
+//!
+//! When a partial-update entry is evicted from the PUB, the question is
+//! whether the security-metadata block it belongs to still has to be
+//! persisted to its home location, or whether the update has already
+//! reached NVM by some other route. The paper proposes two detectors:
+//!
+//! * **WTBC** (Write-Back Through Bitmask Checks) — precise: per-MAC/CTR
+//!   dirty bits inside each metadata cache block, plus a value comparison
+//!   to detect stale entries. Costs extra SRAM for the fine-grained masks.
+//! * **WTSC** (Write-Back Through Status Checks) — approximate: each PUB
+//!   entry records, at insertion time, whether it was the update that
+//!   turned its metadata block dirty (the *status bit*). On eviction, only
+//!   status-1 entries whose block is still dirty in the cache persist it.
+//!   Conservative (may persist needlessly) but never skips a required
+//!   persist, and needs no extra cache state.
+//!
+//! The policy decision is separated from the *ground-truth classification*
+//! used by Figure 3 and the write-accounting statistics: classification
+//! says what the eviction really was (written-back / already-evicted /
+//! clean copy / stale copy); the policy says what the hardware would do.
+
+use serde::{Deserialize, Serialize};
+
+/// Which metadata block a partial update targets. Each PUB entry carries
+/// both a counter part and a MAC part; they are decided independently
+/// because the counter block and the MAC block are different blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetadataKind {
+    /// The split-counter block.
+    Counter,
+    /// The first-level-MAC block.
+    Mac,
+}
+
+/// The metadata cache's view of one block at eviction time, as gathered
+/// by the eviction engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockView {
+    /// The block is no longer in the metadata cache — its eviction
+    /// write-back already persisted every update it contained.
+    NotPresent,
+    /// Resident but clean: a previous persist (partial-update eviction or
+    /// refetch after write-back) already covered this update.
+    Clean,
+    /// Resident and dirty.
+    Dirty {
+        /// WTBC only: the fine-grained dirty bit of this specific MAC/CTR
+        /// within the block.
+        subblock_dirty: bool,
+        /// WTBC only: does the evicted entry's value equal the current
+        /// (verified) value in the cache? Equal means this entry is the
+        /// *latest* update to that MAC/CTR; different means a newer update
+        /// exists (and sits later in the PUB), so this entry is stale.
+        value_matches: bool,
+    },
+}
+
+/// Ground-truth classification of a PUB eviction (the Figure 3 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EvictOutcome {
+    /// The metadata block still needed to be persisted.
+    WrittenBack,
+    /// The up-to-date block already left the cache and was written back.
+    AlreadyEvicted,
+    /// The block is resident but clean.
+    CleanCopy,
+    /// A newer partial update to the same MAC/CTR supersedes this entry.
+    StaleCopy,
+}
+
+impl EvictOutcome {
+    /// All outcomes in the paper's reporting order.
+    pub const ALL: [EvictOutcome; 4] = [
+        EvictOutcome::WrittenBack,
+        EvictOutcome::AlreadyEvicted,
+        EvictOutcome::CleanCopy,
+        EvictOutcome::StaleCopy,
+    ];
+
+    /// Stable label used in reports and CSVs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictOutcome::WrittenBack => "written-back",
+            EvictOutcome::AlreadyEvicted => "already-evicted",
+            EvictOutcome::CleanCopy => "clean-copy",
+            EvictOutcome::StaleCopy => "stale-copy",
+        }
+    }
+
+    /// Classifies an eviction from the ground-truth cache view.
+    #[must_use]
+    pub fn classify(view: BlockView) -> EvictOutcome {
+        match view {
+            BlockView::NotPresent => EvictOutcome::AlreadyEvicted,
+            BlockView::Clean => EvictOutcome::CleanCopy,
+            BlockView::Dirty {
+                subblock_dirty,
+                value_matches,
+            } => {
+                if subblock_dirty && value_matches {
+                    EvictOutcome::WrittenBack
+                } else {
+                    EvictOutcome::StaleCopy
+                }
+            }
+        }
+    }
+}
+
+/// The eviction-filtering policy in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Write-Back Through Status Checks — the paper's default.
+    Wtsc,
+    /// Write-Back Through Bitmask Checks — precise, more SRAM.
+    Wtbc,
+}
+
+impl EvictionPolicy {
+    /// Would this policy persist the metadata block for an evicted entry?
+    ///
+    /// `status` is the entry's recorded status bit (WTSC uses it; WTBC
+    /// ignores it). `view` is the current cache state.
+    ///
+    /// Invariant (checked by tests): whenever the ground truth is
+    /// [`EvictOutcome::WrittenBack`], both policies return `true` —
+    /// correctness never depends on the policy being precise.
+    #[must_use]
+    pub fn requires_persist(self, status: bool, view: BlockView) -> bool {
+        match self {
+            EvictionPolicy::Wtsc => status && matches!(view, BlockView::Dirty { .. }),
+            EvictionPolicy::Wtbc => matches!(
+                view,
+                BlockView::Dirty {
+                    subblock_dirty: true,
+                    value_matches: true,
+                }
+            ),
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictionPolicy::Wtsc => "WTSC",
+            EvictionPolicy::Wtbc => "WTBC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIRTY_LATEST: BlockView = BlockView::Dirty {
+        subblock_dirty: true,
+        value_matches: true,
+    };
+    const DIRTY_STALE: BlockView = BlockView::Dirty {
+        subblock_dirty: true,
+        value_matches: false,
+    };
+    const DIRTY_OTHER_SUBBLOCK: BlockView = BlockView::Dirty {
+        subblock_dirty: false,
+        value_matches: false,
+    };
+
+    #[test]
+    fn classification_matches_figure_3_cases() {
+        assert_eq!(
+            EvictOutcome::classify(BlockView::NotPresent),
+            EvictOutcome::AlreadyEvicted
+        );
+        assert_eq!(EvictOutcome::classify(BlockView::Clean), EvictOutcome::CleanCopy);
+        assert_eq!(EvictOutcome::classify(DIRTY_LATEST), EvictOutcome::WrittenBack);
+        assert_eq!(EvictOutcome::classify(DIRTY_STALE), EvictOutcome::StaleCopy);
+        assert_eq!(
+            EvictOutcome::classify(DIRTY_OTHER_SUBBLOCK),
+            EvictOutcome::StaleCopy
+        );
+    }
+
+    #[test]
+    fn wtbc_is_exact() {
+        // WTBC persists exactly the ground-truth WrittenBack case.
+        let views = [
+            BlockView::NotPresent,
+            BlockView::Clean,
+            DIRTY_LATEST,
+            DIRTY_STALE,
+            DIRTY_OTHER_SUBBLOCK,
+        ];
+        for v in views {
+            for status in [false, true] {
+                let persist = EvictionPolicy::Wtbc.requires_persist(status, v);
+                let needed = EvictOutcome::classify(v) == EvictOutcome::WrittenBack;
+                assert_eq!(persist, needed, "view {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wtsc_is_conservative_never_unsafe() {
+        // Whenever a persist is truly required, the dirtying update's
+        // status bit is 1 by construction (the block transitioned
+        // clean->dirty at its insertion and has not been cleaned since —
+        // otherwise the view would be Clean/NotPresent). WTSC must persist
+        // in that situation.
+        assert!(EvictionPolicy::Wtsc.requires_persist(true, DIRTY_LATEST));
+        // Conservative over-persist: status-1 entry whose value is stale.
+        assert!(EvictionPolicy::Wtsc.requires_persist(true, DIRTY_STALE));
+        // Skips when the block is gone or clean (cases 1 and 3).
+        assert!(!EvictionPolicy::Wtsc.requires_persist(true, BlockView::NotPresent));
+        assert!(!EvictionPolicy::Wtsc.requires_persist(true, BlockView::Clean));
+        // Status-0 entries never persist (a prior dirtying entry covers them).
+        for v in [BlockView::NotPresent, BlockView::Clean, DIRTY_LATEST, DIRTY_STALE] {
+            assert!(!EvictionPolicy::Wtsc.requires_persist(false, v));
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EvictionPolicy::Wtsc.label(), "WTSC");
+        assert_eq!(EvictionPolicy::Wtbc.label(), "WTBC");
+        let labels: Vec<_> = EvictOutcome::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["written-back", "already-evicted", "clean-copy", "stale-copy"]
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! AES-128 block cipher (FIPS-197), implemented from scratch.
+//!
+//! This is a straightforward, table-free implementation: S-box lookups plus
+//! explicit `MixColumns` arithmetic over GF(2^8). It is not meant to be a
+//! high-performance or constant-time production cipher — it exists so that
+//! the simulator's *functional* state (ciphertexts, one-time pads) is real
+//! AES, making recovery and tamper-detection tests meaningful. The *timing*
+//! model charges the paper's fixed 40-cycle AES latency regardless.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse AES S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// General multiplication in GF(2^8).
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// AES-128: 10 rounds, 128-bit key, 16-byte blocks.
+///
+/// # Example
+///
+/// ```
+/// use thoth_crypto::Aes128;
+///
+/// let key = [0u8; 16];
+/// let aes = Aes128::new(&key);
+/// let pt = *b"attack at dawn!!";
+/// let ct = aes.encrypt_block(&pt);
+/// assert_ne!(ct, pt);
+/// assert_eq!(aes.decrypt_block(&ct), pt);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon: u8 = 1;
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let mut s = *plaintext;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    #[must_use]
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        let mut s = *ciphertext;
+        add_round_key(&mut s, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            inv_shift_rows(&mut s);
+            inv_sub_bytes(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+            inv_mix_columns(&mut s);
+        }
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s);
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128").finish_non_exhaustive()
+    }
+}
+
+// The state is stored column-major as in FIPS-197: byte s[r][c] = state[r + 4c].
+
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        s[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(s: &mut [u8; 16]) {
+    let inv = inv_sbox();
+    for b in s.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+fn shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[r + 4], s[r + 8], s[r + 12]];
+        for c in 0..4 {
+            s[r + 4 * c] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = xtime(col[0]) ^ xtime(col[1]) ^ col[1] ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ xtime(col[1]) ^ xtime(col[2]) ^ col[2] ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ xtime(col[3]) ^ col[3];
+        s[4 * c + 3] = xtime(col[0]) ^ col[0] ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        s[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        s[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        s[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B: the canonical AES-128 example.
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.1 known-answer test.
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expected);
+        assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    #[test]
+    fn roundtrip_many_random_blocks() {
+        // Deterministic xorshift so no external RNG dependency here.
+        let mut x: u64 = 0x123456789abcdef;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&next().to_le_bytes());
+        key[8..].copy_from_slice(&next().to_le_bytes());
+        let aes = Aes128::new(&key);
+        for _ in 0..200 {
+            let mut pt = [0u8; 16];
+            pt[..8].copy_from_slice(&next().to_le_bytes());
+            pt[8..].copy_from_slice(&next().to_le_bytes());
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(&[0u8; 16]);
+        let b = Aes128::new(&[1u8; 16]);
+        let pt = [7u8; 16];
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn gf_multiplication_identities() {
+        for v in 0..=255u8 {
+            assert_eq!(gmul(v, 1), v);
+            assert_eq!(gmul(v, 2), xtime(v));
+            assert_eq!(gmul(1, v), v);
+        }
+        // {57} * {83} = {c1} from the AES specification.
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+    }
+
+    #[test]
+    fn shift_rows_inverts() {
+        let mut s = [0u8; 16];
+        for (i, b) in s.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverts() {
+        let mut s = [0u8; 16];
+        for (i, b) in s.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[0xAB; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains("ab"), "debug output must not contain key bytes");
+        assert!(!dbg.contains("171"), "debug output must not contain key bytes");
+    }
+}

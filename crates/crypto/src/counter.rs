@@ -1,0 +1,390 @@
+//! Split encryption counters (Yan et al. \[11\], as used in Section II-A).
+//!
+//! A *counter group* covers one 4 KB page: a 64-bit **major** counter shared
+//! by every block in the page plus a 7-bit **minor** counter per block. The
+//! per-block encryption counter used in the IV is the pair (major, minor).
+//! When a minor counter overflows, the major counter is incremented and all
+//! minors reset, which forces a page re-encryption (every block's effective
+//! counter changed).
+//!
+//! Counter groups are bit-packed into *counter blocks* of the memory access
+//! granularity (64/128/256 B). Only whole groups are stored per block, as in
+//! the classic split-counter layout where a 64 B block holds 64 minors and
+//! one major.
+
+/// Width of a minor counter in bits.
+pub const MINOR_COUNTER_BITS: u32 = 7;
+
+/// Largest value a minor counter can hold before overflowing.
+pub const MINOR_COUNTER_MAX: u8 = (1 << MINOR_COUNTER_BITS) - 1;
+
+/// Outcome of incrementing a block's counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementOutcome {
+    /// The minor counter was incremented; only this block's counter changed.
+    Minor,
+    /// The minor counter overflowed: the major was incremented and every
+    /// minor in the group reset to zero. The whole page must be
+    /// re-encrypted and its counter block persisted immediately (the paper
+    /// persists the counter block eagerly on major-counter change).
+    MajorOverflow,
+}
+
+/// A split-counter group: one major counter plus one minor per data block
+/// of the covered page.
+///
+/// # Example
+///
+/// ```
+/// use thoth_crypto::{CounterGroup, MINOR_COUNTER_MAX};
+/// use thoth_crypto::counter::IncrementOutcome;
+///
+/// let mut g = CounterGroup::new(32); // 4 KB page of 128 B blocks
+/// assert_eq!(g.value_of(3), (0, 0));
+/// assert_eq!(g.increment(3), IncrementOutcome::Minor);
+/// assert_eq!(g.value_of(3), (0, 1));
+///
+/// for _ in 0..MINOR_COUNTER_MAX as u32 - 1 {
+///     g.increment(3);
+/// }
+/// assert_eq!(g.value_of(3), (0, 127));
+/// assert_eq!(g.increment(3), IncrementOutcome::MajorOverflow);
+/// assert_eq!(g.value_of(3), (1, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterGroup {
+    major: u64,
+    minors: Vec<u8>,
+}
+
+impl CounterGroup {
+    /// Creates a zeroed group covering `blocks_per_page` data blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_page` is zero.
+    #[must_use]
+    pub fn new(blocks_per_page: usize) -> Self {
+        assert!(blocks_per_page > 0, "a counter group must cover at least one block");
+        CounterGroup {
+            major: 0,
+            minors: vec![0; blocks_per_page],
+        }
+    }
+
+    /// Number of blocks this group covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.minors.len()
+    }
+
+    /// Returns `true` if the group covers no blocks (never constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.minors.is_empty()
+    }
+
+    /// The shared major counter.
+    #[must_use]
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The (major, minor) counter pair of block `idx` within the page.
+    #[must_use]
+    pub fn value_of(&self, idx: usize) -> (u64, u8) {
+        (self.major, self.minors[idx])
+    }
+
+    /// Increments the counter of block `idx`, handling minor overflow.
+    pub fn increment(&mut self, idx: usize) -> IncrementOutcome {
+        if self.minors[idx] == MINOR_COUNTER_MAX {
+            self.major = self
+                .major
+                .checked_add(1)
+                .expect("64-bit major counter overflow: cryptographically unreachable");
+            self.minors.iter_mut().for_each(|m| *m = 0);
+            IncrementOutcome::MajorOverflow
+        } else {
+            self.minors[idx] += 1;
+            IncrementOutcome::Minor
+        }
+    }
+
+    /// Overwrites the minor counter of block `idx` — used by crash
+    /// recovery when merging a verified PUB entry into a counter block.
+    /// Normal operation must use [`Self::increment`].
+    pub fn set_minor(&mut self, idx: usize, minor: u8) {
+        assert!(minor <= MINOR_COUNTER_MAX, "minor {minor} exceeds 7 bits");
+        self.minors[idx] = minor;
+    }
+
+    /// Size of this group bit-packed, in bits.
+    #[must_use]
+    pub fn packed_bits(&self) -> usize {
+        64 + self.minors.len() * MINOR_COUNTER_BITS as usize
+    }
+
+    /// Bit-packs the group: major (LE, 64 bits) then 7-bit minors in index
+    /// order, LSB-first within the byte stream.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nbits = self.packed_bits();
+        let mut out = vec![0u8; nbits.div_ceil(8)];
+        out[..8].copy_from_slice(&self.major.to_le_bytes());
+        let mut bitpos = 64usize;
+        for &m in &self.minors {
+            write_bits(&mut out, bitpos, u64::from(m), MINOR_COUNTER_BITS as usize);
+            bitpos += MINOR_COUNTER_BITS as usize;
+        }
+        out
+    }
+
+    /// Reverses [`Self::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than the packed size for
+    /// `blocks_per_page` minors.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8], blocks_per_page: usize) -> Self {
+        let need = (64 + blocks_per_page * MINOR_COUNTER_BITS as usize).div_ceil(8);
+        assert!(bytes.len() >= need, "counter group truncated: {} < {need}", bytes.len());
+        let major = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let mut minors = Vec::with_capacity(blocks_per_page);
+        let mut bitpos = 64usize;
+        for _ in 0..blocks_per_page {
+            minors.push(read_bits(bytes, bitpos, MINOR_COUNTER_BITS as usize) as u8);
+            bitpos += MINOR_COUNTER_BITS as usize;
+        }
+        CounterGroup { major, minors }
+    }
+}
+
+/// Writes `nbits` low bits of `value` at bit offset `bitpos` (LSB-first).
+fn write_bits(buf: &mut [u8], bitpos: usize, value: u64, nbits: usize) {
+    for i in 0..nbits {
+        let bit = (value >> i) & 1;
+        let pos = bitpos + i;
+        if bit != 0 {
+            buf[pos / 8] |= 1 << (pos % 8);
+        } else {
+            buf[pos / 8] &= !(1 << (pos % 8));
+        }
+    }
+}
+
+/// Reads `nbits` bits at offset `bitpos` (LSB-first).
+fn read_bits(buf: &[u8], bitpos: usize, nbits: usize) -> u64 {
+    let mut v = 0u64;
+    for i in 0..nbits {
+        let pos = bitpos + i;
+        if buf[pos / 8] & (1 << (pos % 8)) != 0 {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+/// Geometry of counter blocks: how split-counter groups map onto memory
+/// blocks of the configured access granularity.
+///
+/// # Example
+///
+/// ```
+/// use thoth_crypto::CounterBlock;
+///
+/// // 128 B blocks, 4 KB pages -> 32 blocks per page, 298-bit groups,
+/// // 3 groups per 128 B counter block.
+/// let geo = CounterBlock::geometry(128, 4096);
+/// assert_eq!(geo.blocks_per_page, 32);
+/// assert_eq!(geo.groups_per_block, 3);
+/// assert_eq!(geo.data_blocks_per_counter_block(), 96);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterBlock {
+    /// Memory access granularity in bytes (64, 128 or 256 in the paper).
+    pub block_bytes: usize,
+    /// Page size covered by one counter group (4096 in the paper).
+    pub page_bytes: usize,
+    /// Data blocks per page = `page_bytes / block_bytes`.
+    pub blocks_per_page: usize,
+    /// Whole counter groups that fit in one counter block.
+    pub groups_per_block: usize,
+}
+
+impl CounterBlock {
+    /// Computes the packing geometry for the given block and page sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are zero, the page is not a multiple of the block
+    /// size, or a single group does not fit in one block.
+    #[must_use]
+    pub fn geometry(block_bytes: usize, page_bytes: usize) -> Self {
+        assert!(block_bytes > 0 && page_bytes > 0);
+        assert_eq!(
+            page_bytes % block_bytes,
+            0,
+            "page size must be a multiple of block size"
+        );
+        let blocks_per_page = page_bytes / block_bytes;
+        let group_bits = 64 + blocks_per_page * MINOR_COUNTER_BITS as usize;
+        let groups_per_block = (block_bytes * 8) / group_bits;
+        assert!(
+            groups_per_block >= 1,
+            "one counter group ({group_bits}b) must fit in a {block_bytes}B block"
+        );
+        CounterBlock {
+            block_bytes,
+            page_bytes,
+            blocks_per_page,
+            groups_per_block,
+        }
+    }
+
+    /// Number of data blocks whose counters live in one counter block.
+    #[must_use]
+    pub fn data_blocks_per_counter_block(&self) -> usize {
+        self.groups_per_block * self.blocks_per_page
+    }
+
+    /// Packs `groups` into one counter block image of `block_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of groups differs from the geometry.
+    #[must_use]
+    pub fn pack(&self, groups: &[CounterGroup]) -> Vec<u8> {
+        assert_eq!(groups.len(), self.groups_per_block);
+        let group_bytes = (64 + self.blocks_per_page * MINOR_COUNTER_BITS as usize).div_ceil(8);
+        let mut out = vec![0u8; self.block_bytes];
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.len(), self.blocks_per_page);
+            let img = g.to_bytes();
+            out[i * group_bytes..i * group_bytes + img.len()].copy_from_slice(&img);
+        }
+        out
+    }
+
+    /// Reverses [`Self::pack`].
+    #[must_use]
+    pub fn unpack(&self, block: &[u8]) -> Vec<CounterGroup> {
+        assert!(block.len() >= self.block_bytes);
+        let group_bytes = (64 + self.blocks_per_page * MINOR_COUNTER_BITS as usize).div_ceil(8);
+        (0..self.groups_per_block)
+            .map(|i| CounterGroup::from_bytes(&block[i * group_bytes..], self.blocks_per_page))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_and_overflow() {
+        let mut g = CounterGroup::new(4);
+        for i in 0..MINOR_COUNTER_MAX as usize {
+            assert_eq!(g.increment(0), IncrementOutcome::Minor, "step {i}");
+        }
+        assert_eq!(g.value_of(0), (0, MINOR_COUNTER_MAX));
+        g.increment(1); // another block's minor
+        assert_eq!(g.value_of(1), (0, 1));
+        // Overflow resets ALL minors and bumps the major.
+        assert_eq!(g.increment(0), IncrementOutcome::MajorOverflow);
+        assert_eq!(g.value_of(0), (1, 0));
+        assert_eq!(g.value_of(1), (1, 0));
+    }
+
+    #[test]
+    fn counter_pairs_never_repeat_across_overflow() {
+        // The (major, minor) pair seen by a block must be strictly fresh.
+        let mut g = CounterGroup::new(2);
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(g.value_of(0)));
+        for _ in 0..400 {
+            g.increment(0);
+            assert!(seen.insert(g.value_of(0)), "counter pair repeated");
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip_single_group() {
+        let mut g = CounterGroup::new(64);
+        g.increment(0);
+        g.increment(63);
+        g.increment(63);
+        let bytes = g.to_bytes();
+        let g2 = CounterGroup::from_bytes(&bytes, 64);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn packed_size_matches_classic_layout() {
+        // Classic: 64 B block = 64 minors of 7b + 64b major = 512 bits.
+        let g = CounterGroup::new(64);
+        assert_eq!(g.packed_bits(), 512);
+        let geo = CounterBlock::geometry(64, 4096);
+        assert_eq!(geo.blocks_per_page, 64);
+        assert_eq!(geo.groups_per_block, 1);
+        assert_eq!(geo.data_blocks_per_counter_block(), 64);
+    }
+
+    #[test]
+    fn geometry_for_paper_block_sizes() {
+        // 128 B blocks: page has 32 blocks, group = 64 + 224 = 288 bits,
+        // 1024 / 288 -> 3 groups per counter block.
+        let geo128 = CounterBlock::geometry(128, 4096);
+        assert_eq!(geo128.groups_per_block, 3);
+        assert_eq!(geo128.data_blocks_per_counter_block(), 96);
+        // 256 B blocks: 16 blocks/page, group = 64 + 112 = 176 bits,
+        // 2048 / 176 -> 11 groups.
+        let geo256 = CounterBlock::geometry(256, 4096);
+        assert_eq!(geo256.groups_per_block, 11);
+        assert_eq!(geo256.data_blocks_per_counter_block(), 176);
+    }
+
+    #[test]
+    fn block_pack_roundtrip() {
+        let geo = CounterBlock::geometry(128, 4096);
+        let mut groups: Vec<CounterGroup> = (0..geo.groups_per_block)
+            .map(|_| CounterGroup::new(geo.blocks_per_page))
+            .collect();
+        groups[0].increment(5);
+        groups[1].increment(0);
+        for _ in 0..200 {
+            groups[2].increment(31);
+        }
+        let img = geo.pack(&groups);
+        assert_eq!(img.len(), 128);
+        let back = geo.unpack(&img);
+        assert_eq!(back, groups);
+    }
+
+    #[test]
+    fn bit_packing_helpers() {
+        let mut buf = vec![0u8; 4];
+        write_bits(&mut buf, 3, 0b1011011, 7);
+        assert_eq!(read_bits(&buf, 3, 7), 0b1011011);
+        write_bits(&mut buf, 10, 0x3f, 6);
+        assert_eq!(read_bits(&buf, 10, 6), 0x3f);
+        // First value must be unaffected.
+        assert_eq!(read_bits(&buf, 3, 7), 0b1011011);
+        // Overwriting with zeros clears.
+        write_bits(&mut buf, 3, 0, 7);
+        assert_eq!(read_bits(&buf, 3, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_sized_group_panics() {
+        let _ = CounterGroup::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of block size")]
+    fn bad_geometry_panics() {
+        let _ = CounterBlock::geometry(96, 4096);
+    }
+}

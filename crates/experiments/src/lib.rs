@@ -1,0 +1,71 @@
+//! Experiment harness: one module per table/figure of the paper.
+//!
+//! Every artifact of the Thoth evaluation (Section V) has a regenerating
+//! experiment here (see DESIGN.md's experiment index):
+//!
+//! | Paper artifact | Module | What it reports |
+//! |---|---|---|
+//! | Figure 3 | [`fig3`] | PUB-eviction outcome breakdown vs FIFO size |
+//! | Figure 8 | [`headline`] | speedup, WTSC/WTBC, 128/256 B blocks |
+//! | Figure 9 | [`headline`] | NVM writes normalized + category breakdown |
+//! | §V-F | [`headline`] | Thoth overhead vs ideal co-located-ECC Anubis |
+//! | Figure 10 | [`txsweep`] | speedup vs transaction size |
+//! | Table II | [`txsweep`] | % of writes that are ciphertext |
+//! | Table III | [`txsweep`] | % of partial updates merged in the PCB |
+//! | Figure 11 | [`cachesweep`] | speedup vs metadata cache size |
+//! | Figure 12 | [`wpqsweep`] | speedup vs WPQ size |
+//! | §IV-D | [`recovery`] | crash-recovery correctness + time model |
+//! | (extensions) | [`ablation`] | PUB/PCB knobs, PCB arrangement, eADR |
+//! | (extensions) | [`lifetime`] | write totals + wear concentration per mode |
+//!
+//! Each experiment prints a text table (and returns structured rows) so
+//! the binary's output can be diffed against `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cachesweep;
+pub mod fig3;
+pub mod headline;
+pub mod lifetime;
+pub mod recovery;
+pub mod runner;
+pub mod tablefmt;
+pub mod txsweep;
+pub mod wpqsweep;
+
+/// Geometric mean of a slice (1.0 for empty input).
+#[must_use]
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean of a slice (0.0 for empty input).
+#[must_use]
+pub fn amean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(gmean(&[]), 1.0);
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amean_basics() {
+        assert_eq!(amean(&[]), 0.0);
+        assert!((amean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Command-line driver regenerating every table and figure of the paper.
+//!
+//! ```text
+//! thoth-experiments [EXPERIMENT ...] [--scale F] [--quick] [--csv DIR]
+//!
+//! EXPERIMENT: fig3 | headline | fig8 | fig9 | fig10 | table2 | table3 |
+//!             fig11 | fig12 | anubis | recovery | all   (default: all)
+//! --scale F   transaction-count scale factor (default 0.25)
+//! --seed N    workload RNG seed
+//! --quick     tiny smoke-test scale (0.02)
+//! --csv DIR   also write each table as CSV into DIR
+//! ```
+
+use thoth_experiments::runner::ExpSettings;
+use thoth_experiments::tablefmt::Table;
+use thoth_experiments::{ablation, cachesweep, fig3, headline, lifetime, recovery, txsweep, wpqsweep};
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut settings = ExpSettings::default();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                settings.scale = v.parse().expect("--scale takes a float");
+            }
+            "--quick" => settings = ExpSettings::quick(),
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                settings.seed = v.parse().expect("--seed takes a u64");
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(args.next().expect("--csv needs a dir")));
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return;
+            }
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_owned());
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    let emit = |tables: Vec<Table>, slug: &str| {
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render());
+            if let Some(dir) = &csv_dir {
+                let path = dir.join(format!("{slug}-{i}.csv"));
+                std::fs::write(&path, t.to_csv()).expect("write csv");
+            }
+        }
+    };
+
+    for exp in &wanted {
+        let all = exp == "all";
+        match exp.as_str() {
+            "fig3" => {
+                let (t, _) = fig3::run(settings, &fig3::PAPER_FIFO_SIZES);
+                emit(vec![t], "fig3");
+            }
+            "headline" | "fig8" | "fig9" | "anubis" => {
+                emit(headline::run(settings), "headline");
+            }
+            "fig10" | "table2" | "table3" | "txsweep" => {
+                emit(txsweep::run(settings, &txsweep::TX_SIZES), "txsweep");
+            }
+            "fig11" => emit(cachesweep::run(settings), "fig11"),
+            "fig12" => emit(wpqsweep::run(settings), "fig12"),
+            "recovery" => emit(recovery::run(settings), "recovery"),
+            "ablation" => emit(ablation::run(settings), "ablation"),
+            "lifetime" => emit(lifetime::run(settings), "lifetime"),
+            "all" => {}
+            other => {
+                eprintln!("unknown experiment: {other}\n{HELP}");
+                std::process::exit(2);
+            }
+        }
+        if all {
+            let (t, _) = fig3::run(settings, &fig3::PAPER_FIFO_SIZES);
+            emit(vec![t], "fig3");
+            emit(headline::run(settings), "headline");
+            emit(txsweep::run(settings, &txsweep::TX_SIZES), "txsweep");
+            emit(cachesweep::run(settings), "fig11");
+            emit(wpqsweep::run(settings), "fig12");
+            emit(recovery::run(settings), "recovery");
+            emit(ablation::run(settings), "ablation");
+            emit(lifetime::run(settings), "lifetime");
+        }
+    }
+}
+
+const HELP: &str = "\
+thoth-experiments — regenerate the tables and figures of the Thoth paper
+
+USAGE:
+  thoth-experiments [EXPERIMENT ...] [--scale F] [--quick] [--csv DIR]
+
+EXPERIMENTS:
+  fig3      Figure 3  — PUB eviction breakdown vs FIFO size
+  headline  Figures 8 & 9 + Section V-F (also: fig8, fig9, anubis)
+  txsweep   Figure 10 + Tables II & III (also: fig10, table2, table3)
+  fig11     Figure 11 — metadata cache size sensitivity
+  fig12     Figure 12 — WPQ size sensitivity
+  recovery  Section IV-D — crash recovery + time model
+  ablation  PUB/PCB design-space sweeps, PCB arrangement, eADR
+  lifetime  NVM write totals + wear concentration per mode
+  all       everything above (default)
+
+OPTIONS:
+  --scale F  transaction-count scale factor (default 0.25)
+  --quick    tiny smoke-test scale
+  --seed N   workload RNG seed (default 0xC0FFEE)
+  --csv DIR  also write each table as CSV into DIR";

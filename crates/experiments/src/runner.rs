@@ -1,0 +1,186 @@
+//! Shared experiment plumbing: scaled workload traces and simulation runs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use thoth_sim::{Mode, SimConfig, SimReport};
+use thoth_workloads::{spec, MultiCoreTrace, WorkloadConfig, WorkloadKind};
+
+/// Global experiment settings.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpSettings {
+    /// Scale factor on the per-core transaction counts (1.0 = the
+    /// repository's full configuration: 1000 warm-up + 2000 measured
+    /// transactions per core).
+    pub scale: f64,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+}
+
+impl Default for ExpSettings {
+    fn default() -> Self {
+        ExpSettings {
+            scale: 0.25,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ExpSettings {
+    /// A quick-smoke-test setting used by unit tests and CI.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExpSettings {
+            scale: 0.02,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The workload configuration for `kind` at transaction size `tx_size`.
+    #[must_use]
+    pub fn workload(&self, kind: WorkloadKind, tx_size: usize) -> WorkloadConfig {
+        let mut cfg = WorkloadConfig::paper_default(kind).scaled(self.scale);
+        cfg.tx_size = tx_size;
+        cfg.seed = self.seed;
+        if self.scale < 0.1 {
+            // Quick mode: shrink the pre-population proportionally so
+            // trace generation stays fast.
+            cfg.footprint = match kind {
+                WorkloadKind::Swap => 4,
+                WorkloadKind::Queue => 32,
+                _ => 10_000,
+            };
+            cfg.prepopulate = cfg.footprint / 2;
+        }
+        cfg
+    }
+}
+
+/// Caches generated traces by (workload, tx size) — trace generation is
+/// deterministic, so every experiment sharing a workload point reuses the
+/// same trace.
+#[derive(Default)]
+pub struct TraceCache {
+    settings: ExpSettings,
+    traces: HashMap<(WorkloadKind, usize), Arc<MultiCoreTrace>>,
+}
+
+impl TraceCache {
+    /// Creates a cache for the given settings.
+    #[must_use]
+    pub fn new(settings: ExpSettings) -> Self {
+        TraceCache {
+            settings,
+            traces: HashMap::new(),
+        }
+    }
+
+    /// The settings this cache generates under.
+    #[must_use]
+    pub fn settings(&self) -> ExpSettings {
+        self.settings
+    }
+
+    /// Returns (generating on first use) the trace for a workload point.
+    pub fn get(&mut self, kind: WorkloadKind, tx_size: usize) -> Arc<MultiCoreTrace> {
+        let settings = self.settings;
+        self.traces
+            .entry((kind, tx_size))
+            .or_insert_with(|| Arc::new(spec::generate(settings.workload(kind, tx_size))))
+            .clone()
+    }
+}
+
+/// Runs one simulation; a thin wrapper kept for symmetric call sites.
+#[must_use]
+pub fn simulate(config: &SimConfig, trace: &MultiCoreTrace) -> SimReport {
+    thoth_sim::run_trace(config, trace)
+}
+
+/// One unit of work for [`run_jobs`]: a keyed simulation.
+pub struct Job<K> {
+    /// Caller-chosen key identifying the run in the results.
+    pub key: K,
+    /// Machine configuration.
+    pub config: SimConfig,
+    /// Shared trace to replay.
+    pub trace: Arc<MultiCoreTrace>,
+}
+
+/// Runs a batch of simulations across all available cores (crossbeam
+/// scoped worker pool). Results come back in submission order; each
+/// simulation is itself deterministic, so the parallel and sequential
+/// paths produce identical reports.
+#[must_use]
+pub fn run_jobs<K: Send>(jobs: Vec<Job<K>>) -> Vec<(K, SimReport)> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs
+            .into_iter()
+            .map(|j| {
+                let report = simulate(&j.config, &j.trace);
+                (j.key, report)
+            })
+            .collect();
+    }
+    let n = jobs.len();
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, Job<K>)>();
+    let (result_tx, result_rx) = crossbeam::channel::unbounded();
+    for item in jobs.into_iter().enumerate() {
+        task_tx.send(item).expect("queue open");
+    }
+    drop(task_tx);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok((i, job)) = task_rx.recv() {
+                    let report = simulate(&job.config, &job.trace);
+                    result_tx.send((i, (job.key, report))).expect("results open");
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(result_tx);
+    let mut out: Vec<Option<(K, SimReport)>> = (0..n).map(|_| None).collect();
+    for (i, kv) in result_rx {
+        out[i] = Some(kv);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every job completed"))
+        .collect()
+}
+
+/// Builds a `SimConfig` for a mode and block size with the experiment
+/// defaults (Table I).
+#[must_use]
+pub fn sim_config(mode: Mode, block_bytes: usize) -> SimConfig {
+    SimConfig::paper_default(mode, block_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cache_reuses() {
+        let mut cache = TraceCache::new(ExpSettings::quick());
+        let a = cache.get(WorkloadKind::Ctree, 128);
+        let b = cache.get(WorkloadKind::Ctree, 128);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.get(WorkloadKind::Ctree, 512);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn quick_settings_generate_small_traces() {
+        let mut cache = TraceCache::new(ExpSettings::quick());
+        let t = cache.get(WorkloadKind::Swap, 128);
+        assert!(t.total_txs() < 1000);
+    }
+}

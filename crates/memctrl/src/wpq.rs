@@ -1,0 +1,453 @@
+//! The write-pending queue (WPQ) with coalescing, drain policy and
+//! ADR crash flush.
+
+use thoth_nvm::{NvmDevice, WriteCategory};
+use thoth_sim_engine::Cycle;
+
+use std::collections::VecDeque;
+
+/// WPQ configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WpqConfig {
+    /// Total entries (64 in the paper's baseline, 56 in Thoth's).
+    pub capacity: usize,
+    /// Occupancy at which the drain engine starts issuing NVM writes
+    /// (50% of capacity in the paper's baseline).
+    pub drain_threshold: usize,
+    /// The drain engine leaves this many of the newest entries pending so
+    /// they remain coalescable (hysteresis low watermark).
+    pub low_watermark: usize,
+}
+
+impl WpqConfig {
+    /// A configuration draining at 50% occupancy while keeping the newest
+    /// half coalescable, matching the paper's baseline description ("we
+    /// set the WPQ to start draining when it is 50% full so that secure
+    /// metadata from the same cache block that arrive in a short time
+    /// period can be coalesced", Section V-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "WPQ must have at least one entry");
+        WpqConfig {
+            capacity,
+            drain_threshold: (capacity / 2).max(1),
+            low_watermark: (capacity / 2).min(capacity - 1),
+        }
+    }
+}
+
+/// One pending block write.
+#[derive(Debug, Clone)]
+struct Entry {
+    addr: u64,
+    payload: Option<Vec<u8>>,
+    category: WriteCategory,
+    /// `Some(cycle)` once the drain engine committed this entry to an NVM
+    /// write finishing at `cycle`; committed entries no longer coalesce.
+    drain_done: Option<Cycle>,
+}
+
+/// WPQ event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WpqStats {
+    /// Writes accepted (including coalesced ones).
+    pub inserts: u64,
+    /// Inserts that merged into a pending entry instead of occupying a slot.
+    pub coalesced: u64,
+    /// Entries drained to NVM.
+    pub drained: u64,
+    /// Inserts that found the queue full and had to wait.
+    pub full_stalls: u64,
+    /// Total cycles inserts spent waiting on a full queue.
+    pub stall_cycles: u64,
+}
+
+/// The ADR-backed write-pending queue.
+///
+/// # Example
+///
+/// ```
+/// use thoth_memctrl::{Wpq, WpqConfig};
+/// use thoth_nvm::{NvmConfig, NvmDevice, WriteCategory};
+/// use thoth_sim_engine::Cycle;
+///
+/// let mut nvm = NvmDevice::new(NvmConfig::table_i(128));
+/// let mut wpq = Wpq::new(WpqConfig::with_capacity(64));
+///
+/// // A persist is ACKed the moment the WPQ accepts it:
+/// let t = wpq.insert(Cycle(0), 0x1000, Some(vec![1; 128]), WriteCategory::Data, &mut nvm);
+/// assert_eq!(t, Cycle(0));
+///
+/// // A second write to the same block coalesces:
+/// wpq.insert(Cycle(5), 0x1000, Some(vec![2; 128]), WriteCategory::Data, &mut nvm);
+/// assert_eq!(wpq.stats().coalesced, 1);
+/// ```
+#[derive(Debug)]
+pub struct Wpq {
+    config: WpqConfig,
+    entries: VecDeque<Entry>,
+    stats: WpqStats,
+}
+
+impl Wpq {
+    /// Creates an empty WPQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (threshold or watermark
+    /// above capacity).
+    #[must_use]
+    pub fn new(config: WpqConfig) -> Self {
+        assert!(config.capacity > 0);
+        assert!(config.drain_threshold <= config.capacity);
+        assert!(config.low_watermark < config.capacity);
+        Wpq {
+            config,
+            entries: VecDeque::new(),
+            stats: WpqStats::default(),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> WpqConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> WpqStats {
+        self.stats
+    }
+
+    /// Current number of occupied entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether a still-coalescable entry for `addr` is pending.
+    #[must_use]
+    pub fn contains_coalescable(&self, addr: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.addr == addr && e.drain_done.is_none())
+    }
+
+    /// Read forwarding: the payload of the pending (uncommitted) write to
+    /// `addr`, if any. Reads **must** snoop the WPQ — fetching straight
+    /// from the device while a newer image waits in the queue would
+    /// silently regress state (e.g. refetching a counter block that was
+    /// just written back, which would lead to counter reuse).
+    ///
+    /// Committed entries need no forwarding in this model: their payload
+    /// is applied to the device's functional state at commit time.
+    #[must_use]
+    pub fn forward(&self, addr: u64) -> Option<&Vec<u8>> {
+        self.entries
+            .iter()
+            .find(|e| e.addr == addr && e.drain_done.is_none())
+            .and_then(|e| e.payload.as_ref())
+    }
+
+    /// Removes entries whose drains completed by `now`.
+    fn retire(&mut self, now: Cycle) {
+        self.entries
+            .retain(|e| e.drain_done.is_none_or(|d| d > now));
+    }
+
+    /// Commits unscheduled entries to NVM writes while occupancy is at or
+    /// above the drain threshold, keeping the newest `low_watermark`
+    /// entries coalescable.
+    fn maybe_drain(&mut self, now: Cycle, nvm: &mut NvmDevice) {
+        if self.entries.len() < self.config.drain_threshold {
+            return;
+        }
+        let commit_upto = self.entries.len() - self.config.low_watermark.min(self.entries.len());
+        for e in self.entries.iter_mut().take(commit_upto) {
+            if e.drain_done.is_none() {
+                Self::commit(e, now, nvm);
+                self.stats.drained += 1;
+            }
+        }
+    }
+
+    /// Issues the NVM write for one entry (functional + timing).
+    fn commit(e: &mut Entry, now: Cycle, nvm: &mut NvmDevice) {
+        let done = nvm.time_access(now, e.addr, true);
+        match &e.payload {
+            Some(p) => nvm.write_block(e.addr, p, e.category),
+            None => nvm.note_write(e.addr, e.category),
+        }
+        e.drain_done = Some(done);
+    }
+
+    /// Inserts a block write, returning the cycle at which it is accepted
+    /// into the persistence domain (the persist ACK).
+    ///
+    /// If an uncommitted entry for the same block is pending, the write
+    /// coalesces and is ACKed immediately. If the queue is full, every
+    /// entry is committed to a drain and the insert waits for the first
+    /// slot to free — the returned cycle reflects that stall.
+    pub fn insert(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        payload: Option<Vec<u8>>,
+        category: WriteCategory,
+        nvm: &mut NvmDevice,
+    ) -> Cycle {
+        self.stats.inserts += 1;
+        self.retire(now);
+
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.addr == addr && e.drain_done.is_none())
+        {
+            e.payload = payload;
+            e.category = category;
+            self.stats.coalesced += 1;
+            self.maybe_drain(now, nvm);
+            return now;
+        }
+
+        let mut accept = now;
+        if self.entries.len() >= self.config.capacity {
+            // Full: commit the oldest entries (keeping the newest
+            // low-watermark window coalescable, even under saturation) and
+            // wait for the earliest completion.
+            let keep = self.config.low_watermark.min(self.config.capacity - 1);
+            let commit_upto = self.entries.len() - keep;
+            for e in self.entries.iter_mut().take(commit_upto) {
+                if e.drain_done.is_none() {
+                    Self::commit(e, now, nvm);
+                    self.stats.drained += 1;
+                }
+            }
+            let first_free = self
+                .entries
+                .iter()
+                .filter_map(|e| e.drain_done)
+                .min()
+                .expect("full queue has committed entries");
+            self.stats.full_stalls += 1;
+            self.stats.stall_cycles += first_free.saturating_since(now);
+            accept = accept.max(first_free);
+            self.retire(accept);
+        }
+
+        self.entries.push_back(Entry {
+            addr,
+            payload,
+            category,
+            drain_done: None,
+        });
+        self.maybe_drain(accept, nvm);
+        accept
+    }
+
+    /// Commits and retires everything — used at the end of a measured run
+    /// so final write counts include pending entries.
+    pub fn drain_all(&mut self, now: Cycle, nvm: &mut NvmDevice) -> Cycle {
+        let mut last = now;
+        for e in self.entries.iter_mut() {
+            if e.drain_done.is_none() {
+                Self::commit(e, now, nvm);
+                self.stats.drained += 1;
+            }
+            last = last.max(e.drain_done.expect("just committed"));
+        }
+        self.entries.clear();
+        last
+    }
+
+    /// The ADR flush on a crash: residual power writes every pending entry
+    /// to NVM. Uncommitted entries are written functionally; committed
+    /// ones already were. Timing is irrelevant (the machine is down).
+    pub fn crash_flush(&mut self, nvm: &mut NvmDevice) {
+        for e in self.entries.drain(..) {
+            if e.drain_done.is_none() {
+                match &e.payload {
+                    Some(p) => nvm.write_block(e.addr, p, e.category),
+                    None => nvm.note_write(e.addr, e.category),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thoth_nvm::NvmConfig;
+
+    fn nvm() -> NvmDevice {
+        NvmDevice::new(NvmConfig::table_i(128))
+    }
+
+    fn block(v: u8) -> Option<Vec<u8>> {
+        Some(vec![v; 128])
+    }
+
+    #[test]
+    fn accepts_immediately_when_space() {
+        let mut m = nvm();
+        let mut q = Wpq::new(WpqConfig::with_capacity(64));
+        for i in 0..10u64 {
+            let t = q.insert(Cycle(i), i * 128, block(i as u8), WriteCategory::Data, &mut m);
+            assert_eq!(t, Cycle(i), "no stall while below threshold");
+        }
+        assert_eq!(q.occupancy(), 10);
+        assert_eq!(q.stats().full_stalls, 0);
+    }
+
+    #[test]
+    fn coalesces_same_block() {
+        let mut m = nvm();
+        let mut q = Wpq::new(WpqConfig::with_capacity(64));
+        q.insert(Cycle(0), 0x80, block(1), WriteCategory::Data, &mut m);
+        q.insert(Cycle(1), 0x80, block(2), WriteCategory::Data, &mut m);
+        assert_eq!(q.occupancy(), 1);
+        assert_eq!(q.stats().coalesced, 1);
+        // The coalesced value is what eventually reaches NVM.
+        q.drain_all(Cycle(2), &mut m);
+        assert_eq!(m.read_block(0x80), vec![2; 128]);
+        assert_eq!(m.writes_in(WriteCategory::Data), 1, "one write, not two");
+    }
+
+    #[test]
+    fn drains_at_threshold_keeping_watermark() {
+        let mut m = nvm();
+        let cfg = WpqConfig {
+            capacity: 8,
+            drain_threshold: 4,
+            low_watermark: 2,
+        };
+        let mut q = Wpq::new(cfg);
+        for i in 0..4u64 {
+            q.insert(Cycle(0), i * 128, block(0), WriteCategory::Data, &mut m);
+        }
+        // Threshold hit at 4 entries: commit all but the newest 2.
+        assert_eq!(q.stats().drained, 2);
+        // The committed entries no longer coalesce.
+        assert!(!q.contains_coalescable(0));
+        assert!(q.contains_coalescable(3 * 128));
+    }
+
+    #[test]
+    fn full_queue_stalls_until_drain() {
+        let mut m = nvm();
+        let cfg = WpqConfig {
+            capacity: 4,
+            drain_threshold: 4,
+            low_watermark: 0,
+        };
+        let mut q = Wpq::new(cfg);
+        // Fill with same-bank addresses so drains serialize: bank stride is
+        // 16 banks * 128 B.
+        let stride = 16 * 128;
+        for i in 0..4u64 {
+            q.insert(Cycle(0), i * stride, block(0), WriteCategory::Data, &mut m);
+        }
+        // All four committed (threshold = capacity, watermark 0), done at
+        // 2000, 4000, 6000, 8000 on the same bank.
+        let t = q.insert(Cycle(0), 99 * stride, block(9), WriteCategory::Data, &mut m);
+        assert_eq!(t, Cycle(2000), "waits for first drain completion");
+        assert_eq!(q.stats().full_stalls, 1);
+        assert_eq!(q.stats().stall_cycles, 2000);
+    }
+
+    #[test]
+    fn retire_frees_slots_over_time() {
+        let mut m = nvm();
+        let cfg = WpqConfig {
+            capacity: 4,
+            drain_threshold: 2,
+            low_watermark: 0,
+        };
+        let mut q = Wpq::new(cfg);
+        q.insert(Cycle(0), 0, block(1), WriteCategory::Data, &mut m);
+        q.insert(Cycle(0), 128, block(2), WriteCategory::Data, &mut m);
+        assert_eq!(q.stats().drained, 2);
+        // Far in the future the drains completed and entries retired.
+        q.insert(Cycle(100_000), 256, block(3), WriteCategory::Data, &mut m);
+        assert_eq!(q.occupancy(), 1);
+    }
+
+    #[test]
+    fn drain_all_persists_everything() {
+        let mut m = nvm();
+        let mut q = Wpq::new(WpqConfig::with_capacity(64));
+        q.insert(Cycle(0), 0, block(5), WriteCategory::Data, &mut m);
+        q.insert(Cycle(0), 128, block(6), WriteCategory::MacBlock, &mut m);
+        let end = q.drain_all(Cycle(0), &mut m);
+        assert!(end >= Cycle(2000));
+        assert_eq!(q.occupancy(), 0);
+        assert_eq!(m.read_block(0), vec![5; 128]);
+        assert_eq!(m.read_block(128), vec![6; 128]);
+        assert_eq!(m.writes_in(WriteCategory::MacBlock), 1);
+    }
+
+    #[test]
+    fn crash_flush_writes_uncommitted_only_once() {
+        let mut m = nvm();
+        let cfg = WpqConfig {
+            capacity: 8,
+            drain_threshold: 2,
+            low_watermark: 0,
+        };
+        let mut q = Wpq::new(cfg);
+        q.insert(Cycle(0), 0, block(1), WriteCategory::Data, &mut m);
+        q.insert(Cycle(0), 128, block(2), WriteCategory::Data, &mut m); // both committed
+        q.insert(Cycle(0), 256, block(3), WriteCategory::Data, &mut m); // committed too (>= threshold)
+        let committed_writes = m.writes_in(WriteCategory::Data);
+        q.crash_flush(&mut m);
+        assert_eq!(q.occupancy(), 0);
+        // Committed entries were not re-written by the flush.
+        assert_eq!(m.writes_in(WriteCategory::Data), committed_writes);
+        assert_eq!(m.read_block(256), vec![3; 128]);
+    }
+
+    #[test]
+    fn crash_flush_persists_pending_payloads() {
+        let mut m = nvm();
+        let mut q = Wpq::new(WpqConfig::with_capacity(64));
+        q.insert(Cycle(0), 0x700 * 128, block(9), WriteCategory::Data, &mut m);
+        assert_eq!(m.writes_in(WriteCategory::Data), 0, "nothing drained yet");
+        q.crash_flush(&mut m);
+        assert_eq!(m.read_block(0x700 * 128), vec![9; 128]);
+        assert_eq!(m.writes_in(WriteCategory::Data), 1);
+    }
+
+    #[test]
+    fn payloadless_writes_count_without_storing() {
+        let mut m = nvm();
+        let mut q = Wpq::new(WpqConfig::with_capacity(64));
+        q.insert(Cycle(0), 0, None, WriteCategory::CounterBlock, &mut m);
+        q.drain_all(Cycle(0), &mut m);
+        assert_eq!(m.writes_in(WriteCategory::CounterBlock), 1);
+        assert_eq!(m.resident_blocks(), 0, "no bytes materialized");
+    }
+
+    #[test]
+    fn committed_entry_does_not_coalesce_new_write() {
+        let mut m = nvm();
+        let cfg = WpqConfig {
+            capacity: 8,
+            drain_threshold: 1,
+            low_watermark: 0,
+        };
+        let mut q = Wpq::new(cfg);
+        q.insert(Cycle(0), 0, block(1), WriteCategory::Data, &mut m); // committed at once
+        q.insert(Cycle(0), 0, block(2), WriteCategory::Data, &mut m); // new slot
+        assert_eq!(q.stats().coalesced, 0);
+        q.drain_all(Cycle(0), &mut m);
+        assert_eq!(m.writes_in(WriteCategory::Data), 2);
+        assert_eq!(m.read_block(0), vec![2; 128], "newest value wins");
+    }
+}

@@ -1,0 +1,145 @@
+//! Anubis-style shadow address tracking (Zubair & Awad \[49\]).
+//!
+//! Anubis records, in a persistent *shadow region* in NVM, the addresses of
+//! security-metadata blocks whose most-recent contents live only in the
+//! volatile secure metadata cache. After a crash, recovery does not need to
+//! rebuild the whole integrity tree — only the subtrees covering the
+//! tracked (potentially inconsistent) addresses, which is what makes
+//! Anubis' recovery time sub-second.
+//!
+//! Thoth keeps this mechanism unchanged (Section IV-D): it first merges the
+//! PUB into the counter/MAC blocks, then runs Anubis' tracked
+//! reconstruction. We model the shadow region at address granularity: a
+//! bounded set of block addresses mirroring the dirty lines of the secure
+//! metadata cache. Writes to the region are packed (many addresses per
+//! block) and counted by the caller under `thoth_nvm::WriteCategory::Shadow`
+//! — they are a minor traffic category, matching the paper's note that the
+//! remaining categories are low.
+
+use std::collections::BTreeSet;
+
+/// Tracks which metadata block addresses are dirty-in-cache (and therefore
+/// inconsistent in NVM until written back).
+#[derive(Debug, Clone, Default)]
+pub struct ShadowTracker {
+    dirty: BTreeSet<u64>,
+    /// Cumulative count of tracking updates (insertions + removals that
+    /// required a shadow-region write).
+    updates: u64,
+}
+
+impl ShadowTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        ShadowTracker::default()
+    }
+
+    /// Notes that `block_addr` became dirty in the metadata cache.
+    /// Returns `true` if this is a state change (requiring a shadow write).
+    pub fn note_dirty(&mut self, block_addr: u64) -> bool {
+        let changed = self.dirty.insert(block_addr);
+        if changed {
+            self.updates += 1;
+        }
+        changed
+    }
+
+    /// Notes that `block_addr` was persisted (written back or flushed).
+    /// Returns `true` if this is a state change.
+    pub fn note_clean(&mut self, block_addr: u64) -> bool {
+        let changed = self.dirty.remove(&block_addr);
+        if changed {
+            self.updates += 1;
+        }
+        changed
+    }
+
+    /// Whether `block_addr` is currently tracked as dirty.
+    #[must_use]
+    pub fn is_tracked(&self, block_addr: u64) -> bool {
+        self.dirty.contains(&block_addr)
+    }
+
+    /// The tracked (potentially inconsistent) addresses, in order.
+    ///
+    /// Recovery reconstructs exactly these subtrees.
+    #[must_use]
+    pub fn tracked(&self) -> Vec<u64> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Number of tracked addresses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Whether nothing is tracked (NVM fully consistent).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Total tracking state changes so far (each costs a small persistent
+    /// write, several of which pack into one shadow-region block).
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// How many shadow-region *block* writes the updates amount to, given
+    /// `entries_per_block` packed entries (e.g. 8 B addresses in a 64 B
+    /// block = 8 per block, 16 for 128 B).
+    #[must_use]
+    pub fn block_writes(&self, entries_per_block: u64) -> u64 {
+        assert!(entries_per_block > 0);
+        self.updates.div_ceil(entries_per_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_state_changes_only() {
+        let mut t = ShadowTracker::new();
+        assert!(t.note_dirty(0x100));
+        assert!(!t.note_dirty(0x100), "already dirty: no new write");
+        assert!(t.is_tracked(0x100));
+        assert!(t.note_clean(0x100));
+        assert!(!t.note_clean(0x100), "already clean: no new write");
+        assert!(!t.is_tracked(0x100));
+        assert_eq!(t.updates(), 2);
+    }
+
+    #[test]
+    fn tracked_sorted_and_len() {
+        let mut t = ShadowTracker::new();
+        t.note_dirty(0x300);
+        t.note_dirty(0x100);
+        t.note_dirty(0x200);
+        t.note_clean(0x200);
+        assert_eq!(t.tracked(), vec![0x100, 0x300]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn block_write_packing() {
+        let mut t = ShadowTracker::new();
+        for i in 0..20u64 {
+            t.note_dirty(i * 64);
+        }
+        assert_eq!(t.updates(), 20);
+        assert_eq!(t.block_writes(8), 3); // ceil(20/8)
+        assert_eq!(t.block_writes(16), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_packing_panics() {
+        let _ = ShadowTracker::new().block_writes(0);
+    }
+}

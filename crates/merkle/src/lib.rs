@@ -1,0 +1,30 @@
+//! Bonsai Merkle Tree (BMT) integrity protection and Anubis-style
+//! recovery tracking.
+//!
+//! Following Rogers et al. \[35\] (Section II-A of the paper), the integrity
+//! tree is built over the *encryption counters* only: data freshness is
+//! guaranteed transitively because each data MAC is computed over the
+//! counter whose freshness the tree guarantees. The tree is 8-ary; each
+//! 64 B node holds the eight hashes of its children, and the root never
+//! leaves the processor.
+//!
+//! Two trees exist in the paper's configuration (Table I):
+//!
+//! * a large, **lazily updated** tree over the NVM-resident counter blocks
+//!   (nodes are written back through natural MT-cache evictions), and
+//! * a small, **eagerly updated** tree over the secure metadata cache whose
+//!   root makes the cache content verifiable after a crash (as in
+//!   Anubis \[49\]).
+//!
+//! This crate models the *logical* tree — always up to date, the state the
+//! verified root attests to — plus [`anubis::ShadowTracker`], the shadow
+//! address-tracking region that lets recovery rebuild only the
+//! inconsistent parts of the NVM tree.
+
+#![warn(missing_docs)]
+
+pub mod anubis;
+pub mod tree;
+
+pub use anubis::ShadowTracker;
+pub use tree::{BonsaiTree, MerkleConfig, NodeId};

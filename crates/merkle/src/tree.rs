@@ -1,0 +1,456 @@
+//! The 8-ary Bonsai Merkle Tree over counter blocks.
+//!
+//! The tree is stored sparsely: a subtree that has never been touched
+//! hashes to a precomputed per-level *default hash* (the hash of an
+//! all-default subtree), so a 32 GB address space costs memory only for
+//! the parts the workload actually wrote.
+
+use thoth_crypto::SipHash24;
+
+use std::collections::HashMap;
+
+/// Identifies a tree node by level and index.
+///
+/// Level 0 is the leaves (one per counter block); the root is the single
+/// node at the top level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// 0 = leaves, `levels - 1` = root.
+    pub level: u32,
+    /// Index within the level.
+    pub index: u64,
+}
+
+/// Static shape of a Merkle tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MerkleConfig {
+    /// Fan-out (8 in the paper: a 64 B node holds eight 8 B hashes).
+    pub arity: u64,
+    /// Number of leaves (counter blocks covered).
+    pub num_leaves: u64,
+}
+
+impl MerkleConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2` or `num_leaves == 0`.
+    #[must_use]
+    pub fn new(arity: u64, num_leaves: u64) -> Self {
+        assert!(arity >= 2, "tree arity must be at least 2");
+        assert!(num_leaves > 0, "tree must cover at least one leaf");
+        MerkleConfig { arity, num_leaves }
+    }
+
+    /// Number of levels including leaves and root.
+    ///
+    /// A tree over one leaf has a single level (the leaf is the root).
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        let mut n = self.num_leaves;
+        let mut levels = 1;
+        while n > 1 {
+            n = n.div_ceil(self.arity);
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Number of nodes at `level`.
+    #[must_use]
+    pub fn nodes_at(&self, level: u32) -> u64 {
+        let mut n = self.num_leaves;
+        for _ in 0..level {
+            n = n.div_ceil(self.arity);
+        }
+        n
+    }
+}
+
+/// A sparse, always-consistent Bonsai Merkle Tree.
+///
+/// `update_leaf` recomputes the path to the root immediately — this models
+/// the *logical* tree state whose root the processor holds. The lazy
+/// write-back of node images to NVM is a separate (timing/accounting)
+/// concern handled by the memory-controller layer; this structure is the
+/// ground truth those write-backs copy from.
+///
+/// # Example
+///
+/// ```
+/// use thoth_merkle::{BonsaiTree, MerkleConfig};
+///
+/// let mut t = BonsaiTree::new(MerkleConfig::new(8, 1000), 0xfeed);
+/// let r0 = t.root();
+/// t.update_leaf(17, 0xdead_beef);
+/// assert_ne!(t.root(), r0);
+///
+/// // Rebuilding from the same leaves yields the same root:
+/// let mut t2 = BonsaiTree::new(MerkleConfig::new(8, 1000), 0xfeed);
+/// t2.update_leaf(17, 0xdead_beef);
+/// assert_eq!(t.root(), t2.root());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BonsaiTree {
+    config: MerkleConfig,
+    levels: u32,
+    hasher: SipHash24,
+    /// Sparse node hashes per level; missing entries take the level default.
+    nodes: Vec<HashMap<u64, u64>>,
+    /// `default[level]` = hash of a node whose entire subtree is default.
+    default: Vec<u64>,
+}
+
+/// The default (all-zero-subtree) leaf hash input.
+const DEFAULT_LEAF: u64 = 0;
+
+impl BonsaiTree {
+    /// Creates a tree over `config.num_leaves` default leaves, keyed by
+    /// `key` (the on-chip hash key).
+    #[must_use]
+    pub fn new(config: MerkleConfig, key: u64) -> Self {
+        let hasher = SipHash24::new(key, key.rotate_left(32) ^ 0xb0b0_cafe_f00d_d00d);
+        let levels = config.levels();
+        let mut default = Vec::with_capacity(levels as usize);
+        default.push(DEFAULT_LEAF);
+        for level in 1..levels {
+            let child = default[(level - 1) as usize];
+            let children = vec![child; config.arity as usize];
+            default.push(Self::node_hash(&hasher, level, u64::MAX, &children));
+        }
+        BonsaiTree {
+            config,
+            levels,
+            hasher,
+            nodes: (0..levels).map(|_| HashMap::new()).collect(),
+            default,
+        }
+    }
+
+    /// Hashes one interior node from its children.
+    ///
+    /// Default nodes use `index = u64::MAX` so that precomputed defaults
+    /// are position-independent; materialized nodes bind their index,
+    /// which defeats node-relocation attacks.
+    fn node_hash(hasher: &SipHash24, level: u32, index: u64, children: &[u64]) -> u64 {
+        let mut words = Vec::with_capacity(children.len() + 2);
+        words.extend_from_slice(children);
+        words.push(u64::from(level));
+        words.push(index);
+        hasher.hash_words(&words)
+    }
+
+    /// The tree configuration.
+    #[must_use]
+    pub fn config(&self) -> MerkleConfig {
+        self.config
+    }
+
+    /// Total levels including leaves and root.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The current root hash (always up to date).
+    #[must_use]
+    pub fn root(&self) -> u64 {
+        self.hash_of(NodeId {
+            level: self.levels - 1,
+            index: 0,
+        })
+    }
+
+    /// The current hash of any node (default if untouched).
+    #[must_use]
+    pub fn hash_of(&self, id: NodeId) -> u64 {
+        assert!(id.level < self.levels, "level {} out of range", id.level);
+        self.nodes[id.level as usize]
+            .get(&id.index)
+            .copied()
+            .unwrap_or(self.default[id.level as usize])
+    }
+
+    /// Sets leaf `index` to `leaf_hash` and recomputes the path to the
+    /// root. Returns the updated path (leaf first, root last) — the timing
+    /// model charges one hash per returned interior node, and the lazy NVM
+    /// tree marks these nodes dirty in the MT cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update_leaf(&mut self, index: u64, leaf_hash: u64) -> Vec<NodeId> {
+        assert!(
+            index < self.config.num_leaves,
+            "leaf {index} out of range ({} leaves)",
+            self.config.num_leaves
+        );
+        let mut path = Vec::with_capacity(self.levels as usize);
+        self.nodes[0].insert(index, leaf_hash);
+        path.push(NodeId { level: 0, index });
+        let mut child_index = index;
+        for level in 1..self.levels {
+            let index = child_index / self.config.arity;
+            let first_child = index * self.config.arity;
+            let child_count = self
+                .config
+                .nodes_at(level - 1)
+                .min(first_child + self.config.arity)
+                - first_child;
+            let children: Vec<u64> = (0..child_count)
+                .map(|i| {
+                    self.hash_of(NodeId {
+                        level: level - 1,
+                        index: first_child + i,
+                    })
+                })
+                .collect();
+            let h = Self::node_hash(&self.hasher, level, index, &children);
+            self.nodes[level as usize].insert(index, h);
+            path.push(NodeId { level, index });
+            child_index = index;
+        }
+        path
+    }
+
+    /// The leaf hash for a counter-block image (binds the block address).
+    #[must_use]
+    pub fn leaf_hash_of(&self, counter_block_addr: u64, image: &[u8]) -> u64 {
+        let mut msg = Vec::with_capacity(image.len() + 8);
+        msg.extend_from_slice(image);
+        msg.extend_from_slice(&counter_block_addr.to_le_bytes());
+        self.hasher.hash(&msg)
+    }
+
+    /// Verifies that leaf `index` currently holds `leaf_hash` *and* that
+    /// the stored path up to the root is internally consistent.
+    ///
+    /// Used by recovery: after merging PUB updates into counter blocks and
+    /// rebuilding, the root must match the processor's persistent root.
+    #[must_use]
+    pub fn verify_leaf(&self, index: u64, leaf_hash: u64) -> bool {
+        if index >= self.config.num_leaves || self.hash_of(NodeId { level: 0, index }) != leaf_hash
+        {
+            return false;
+        }
+        let mut child_index = index;
+        for level in 1..self.levels {
+            let idx = child_index / self.config.arity;
+            let first_child = idx * self.config.arity;
+            let child_count = self
+                .config
+                .nodes_at(level - 1)
+                .min(first_child + self.config.arity)
+                - first_child;
+            let children: Vec<u64> = (0..child_count)
+                .map(|i| {
+                    self.hash_of(NodeId {
+                        level: level - 1,
+                        index: first_child + i,
+                    })
+                })
+                .collect();
+            match self.nodes[level as usize].get(&idx) {
+                Some(&stored) => {
+                    let expect = Self::node_hash(&self.hasher, level, idx, &children);
+                    if stored != expect {
+                        return false;
+                    }
+                }
+                None => {
+                    // An unmaterialized node attests that its whole subtree
+                    // is default; any materialized child contradicts that.
+                    let child_default = self.default[(level - 1) as usize];
+                    if children.iter().any(|&c| c != child_default) {
+                        return false;
+                    }
+                }
+            }
+            child_index = idx;
+        }
+        true
+    }
+
+    /// Builds a tree from an explicit set of `(leaf_index, leaf_hash)`
+    /// pairs — the recovery path ("reconstruct the then-to-be-verified
+    /// tree", Section IV-D).
+    #[must_use]
+    pub fn from_leaves(
+        config: MerkleConfig,
+        key: u64,
+        leaves: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
+        let mut t = BonsaiTree::new(config, key);
+        for (i, h) in leaves {
+            t.update_leaf(i, h);
+        }
+        t
+    }
+
+    /// Number of materialized (non-default) nodes, across all levels.
+    #[must_use]
+    pub fn materialized_nodes(&self) -> usize {
+        self.nodes.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(leaves: u64) -> BonsaiTree {
+        BonsaiTree::new(MerkleConfig::new(8, leaves), 42)
+    }
+
+    #[test]
+    fn level_math() {
+        assert_eq!(MerkleConfig::new(8, 1).levels(), 1);
+        assert_eq!(MerkleConfig::new(8, 8).levels(), 2);
+        assert_eq!(MerkleConfig::new(8, 9).levels(), 3);
+        assert_eq!(MerkleConfig::new(8, 64).levels(), 3);
+        // Paper: 10-level tree covers up to 8^9 = 134M counter blocks.
+        assert_eq!(MerkleConfig::new(8, 8u64.pow(9)).levels(), 10);
+        let c = MerkleConfig::new(8, 100);
+        assert_eq!(c.nodes_at(0), 100);
+        assert_eq!(c.nodes_at(1), 13);
+        assert_eq!(c.nodes_at(2), 2);
+        assert_eq!(c.nodes_at(3), 1);
+    }
+
+    #[test]
+    fn root_changes_on_update_and_is_deterministic() {
+        let mut a = tree(1000);
+        let mut b = tree(1000);
+        assert_eq!(a.root(), b.root());
+        let r0 = a.root();
+        a.update_leaf(5, 123);
+        assert_ne!(a.root(), r0);
+        b.update_leaf(5, 123);
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn update_order_does_not_matter() {
+        let mut a = tree(100);
+        let mut b = tree(100);
+        a.update_leaf(1, 10);
+        a.update_leaf(99, 20);
+        a.update_leaf(50, 30);
+        b.update_leaf(50, 30);
+        b.update_leaf(1, 10);
+        b.update_leaf(99, 20);
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn different_leaves_different_roots() {
+        let mut a = tree(100);
+        let mut b = tree(100);
+        a.update_leaf(1, 10);
+        b.update_leaf(2, 10); // same value, different position
+        assert_ne!(a.root(), b.root());
+        let mut c = tree(100);
+        c.update_leaf(1, 11); // same position, different value
+        assert_ne!(a.root(), c.root());
+    }
+
+    #[test]
+    fn update_path_has_one_node_per_level() {
+        let mut t = tree(1000); // 4 levels: 1000 -> 125 -> 16 -> 2 -> 1... recompute
+        let levels = t.levels();
+        let path = t.update_leaf(999, 7);
+        assert_eq!(path.len(), levels as usize);
+        assert_eq!(path[0], NodeId { level: 0, index: 999 });
+        assert_eq!(
+            path.last().copied(),
+            Some(NodeId {
+                level: levels - 1,
+                index: 0
+            })
+        );
+        // Indices shrink by the arity each level.
+        for w in path.windows(2) {
+            assert_eq!(w[1].index, w[0].index / 8);
+        }
+    }
+
+    #[test]
+    fn verify_leaf_accepts_consistent_and_rejects_wrong() {
+        let mut t = tree(500);
+        t.update_leaf(123, 0xabc);
+        assert!(t.verify_leaf(123, 0xabc));
+        assert!(!t.verify_leaf(123, 0xabd));
+        assert!(!t.verify_leaf(124, 0xabc));
+        assert!(!t.verify_leaf(10_000, 0xabc), "out of range leaf");
+        // Untouched leaves verify with the default hash.
+        assert!(t.verify_leaf(5, 0));
+    }
+
+    #[test]
+    fn verify_detects_internal_node_tamper() {
+        let mut t = tree(500);
+        t.update_leaf(123, 0xabc);
+        // Corrupt an interior node directly.
+        let parent = 123 / 8;
+        t.nodes[1].insert(parent, 0xdead);
+        assert!(!t.verify_leaf(123, 0xabc));
+    }
+
+    #[test]
+    fn from_leaves_matches_incremental() {
+        let leaves: Vec<(u64, u64)> = (0..50).map(|i| (i * 3 % 100, i * 7 + 1)).collect();
+        let mut inc = tree(100);
+        for &(i, h) in &leaves {
+            inc.update_leaf(i, h);
+        }
+        let rebuilt = BonsaiTree::from_leaves(MerkleConfig::new(8, 100), 42, leaves);
+        assert_eq!(inc.root(), rebuilt.root());
+    }
+
+    #[test]
+    fn leaf_hash_binds_address_and_content() {
+        let t = tree(10);
+        let img = vec![1u8; 64];
+        let h = t.leaf_hash_of(0x100, &img);
+        assert_eq!(h, t.leaf_hash_of(0x100, &img));
+        assert_ne!(h, t.leaf_hash_of(0x140, &img));
+        let mut img2 = img.clone();
+        img2[0] ^= 1;
+        assert_ne!(h, t.leaf_hash_of(0x100, &img2));
+    }
+
+    #[test]
+    fn sparse_memory_stays_small() {
+        let mut t = tree(8u64.pow(9)); // 10 levels, 134M leaves
+        assert_eq!(t.levels(), 10);
+        t.update_leaf(0, 1);
+        t.update_leaf(8u64.pow(9) - 1, 2);
+        assert!(t.materialized_nodes() <= 20, "only two paths materialized");
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut t = tree(1);
+        assert_eq!(t.levels(), 1);
+        let r0 = t.root();
+        t.update_leaf(0, 99);
+        assert_eq!(t.root(), 99, "single-leaf root is the leaf itself");
+        assert_ne!(t.root(), r0);
+    }
+
+    #[test]
+    fn different_keys_different_roots() {
+        let mut a = BonsaiTree::new(MerkleConfig::new(8, 64), 1);
+        let mut b = BonsaiTree::new(MerkleConfig::new(8, 64), 2);
+        a.update_leaf(0, 5);
+        b.update_leaf(0, 5);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_out_of_range_panics() {
+        tree(10).update_leaf(10, 0);
+    }
+}

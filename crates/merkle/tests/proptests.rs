@@ -1,0 +1,64 @@
+//! Property tests: Bonsai-tree equivalence with a reference rebuild and
+//! shadow-tracker set semantics.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use thoth_merkle::{BonsaiTree, MerkleConfig, ShadowTracker};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental updates and a from-scratch rebuild of the final state
+    /// always agree on the root.
+    #[test]
+    fn incremental_equals_rebuild(updates in proptest::collection::vec((0u64..1000, any::<u64>()), 0..100)) {
+        let cfg = MerkleConfig::new(8, 1000);
+        let mut inc = BonsaiTree::new(cfg, 7);
+        let mut finals: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, v) in updates {
+            inc.update_leaf(i, v);
+            finals.insert(i, v);
+        }
+        let rebuilt = BonsaiTree::from_leaves(cfg, 7, finals);
+        prop_assert_eq!(inc.root(), rebuilt.root());
+    }
+
+    /// Every updated leaf verifies, and a perturbed value never does.
+    #[test]
+    fn verify_accepts_exactly_current_values(updates in proptest::collection::vec((0u64..200, 1u64..), 1..50)) {
+        let cfg = MerkleConfig::new(8, 200);
+        let mut t = BonsaiTree::new(cfg, 3);
+        let mut finals: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, v) in updates {
+            t.update_leaf(i, v);
+            finals.insert(i, v);
+        }
+        for (&i, &v) in &finals {
+            prop_assert!(t.verify_leaf(i, v));
+            prop_assert!(!t.verify_leaf(i, v.wrapping_add(1)));
+        }
+    }
+
+    /// The shadow tracker behaves as a set with change-counting.
+    #[test]
+    fn shadow_tracker_is_a_set(ops in proptest::collection::vec((any::<bool>(), 0u64..32), 0..200)) {
+        let mut tracker = ShadowTracker::new();
+        let mut set = std::collections::BTreeSet::new();
+        let mut changes = 0u64;
+        for (dirty, a) in ops {
+            let addr = a * 64;
+            let changed = if dirty {
+                let c = tracker.note_dirty(addr);
+                prop_assert_eq!(c, set.insert(addr));
+                c
+            } else {
+                let c = tracker.note_clean(addr);
+                prop_assert_eq!(c, set.remove(&addr));
+                c
+            };
+            if changed { changes += 1; }
+        }
+        prop_assert_eq!(tracker.tracked(), set.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(tracker.updates(), changes);
+    }
+}

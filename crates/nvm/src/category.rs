@@ -1,0 +1,86 @@
+//! Write-traffic categories, matching the paper's breakdown.
+//!
+//! Section V-B classifies NVM writes: in the baseline — (1) regular data,
+//! (2) counter blocks, (3) MAC blocks; in Thoth — (1) regular data,
+//! (2) PCB entries written to the PUB, (3) evicted counter blocks,
+//! (4) evicted MAC blocks, plus low-frequency "other" categories
+//! (tree nodes, shadow-region updates, recovery writes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The category of an NVM block write, for Figure 9 / Table II accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WriteCategory {
+    /// Regular (cipher-text) data blocks.
+    Data,
+    /// Full counter blocks persisted in place.
+    CounterBlock,
+    /// Full MAC blocks persisted in place.
+    MacBlock,
+    /// Packed partial-update blocks written into the PUB region.
+    PubBlock,
+    /// Merkle-tree nodes written back to NVM.
+    TreeNode,
+    /// Anubis-style shadow-tracking region updates.
+    Shadow,
+    /// Writes performed by the recovery procedure after a crash.
+    Recovery,
+    /// Anything else (diagnostics, workload-level bookkeeping).
+    Other,
+}
+
+impl WriteCategory {
+    /// All categories, in stable report order.
+    pub const ALL: [WriteCategory; 8] = [
+        WriteCategory::Data,
+        WriteCategory::CounterBlock,
+        WriteCategory::MacBlock,
+        WriteCategory::PubBlock,
+        WriteCategory::TreeNode,
+        WriteCategory::Shadow,
+        WriteCategory::Recovery,
+        WriteCategory::Other,
+    ];
+
+    /// A short, stable identifier used in stats names and CSV columns.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            WriteCategory::Data => "data",
+            WriteCategory::CounterBlock => "counter",
+            WriteCategory::MacBlock => "mac",
+            WriteCategory::PubBlock => "pub",
+            WriteCategory::TreeNode => "tree",
+            WriteCategory::Shadow => "shadow",
+            WriteCategory::Recovery => "recovery",
+            WriteCategory::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for WriteCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique() {
+        let mut tags: Vec<_> = WriteCategory::ALL.iter().map(|c| c.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), WriteCategory::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_tag() {
+        for c in WriteCategory::ALL {
+            assert_eq!(c.to_string(), c.tag());
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The NVM device: sparse functional store + banked timing model.
+
+use crate::category::WriteCategory;
+use crate::wear::WearTracker;
+use serde::{Deserialize, Serialize};
+use thoth_sim_engine::{Cycle, Frequency, StatsRegistry};
+
+use std::collections::HashMap;
+
+/// Static configuration of the NVM device (paper Table I defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmConfig {
+    /// Total capacity in bytes (32 GB in the paper).
+    pub capacity_bytes: u64,
+    /// Access granularity in bytes (64, 128 or 256).
+    pub block_bytes: usize,
+    /// Number of independently timed banks.
+    pub num_banks: usize,
+    /// Read latency in nanoseconds (150 in the paper).
+    pub read_ns: u64,
+    /// Write latency in nanoseconds (500 in the paper).
+    pub write_ns: u64,
+    /// Core clock used to convert latencies into cycles.
+    pub frequency: Frequency,
+}
+
+impl NvmConfig {
+    /// The paper's Table I configuration with the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero or not a power of two.
+    #[must_use]
+    pub fn table_i(block_bytes: usize) -> Self {
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        NvmConfig {
+            capacity_bytes: 32 << 30,
+            block_bytes,
+            num_banks: 16,
+            read_ns: 150,
+            write_ns: 500,
+            frequency: Frequency::ghz(4),
+        }
+    }
+
+    /// Read latency in cycles.
+    #[must_use]
+    pub fn read_cycles(&self) -> u64 {
+        self.frequency.ns_to_cycles(self.read_ns)
+    }
+
+    /// Write latency in cycles.
+    #[must_use]
+    pub fn write_cycles(&self) -> u64 {
+        self.frequency.ns_to_cycles(self.write_ns)
+    }
+}
+
+/// The simulated NVM device.
+///
+/// # Example
+///
+/// ```
+/// use thoth_nvm::{NvmConfig, NvmDevice, WriteCategory};
+/// use thoth_sim_engine::Cycle;
+///
+/// let mut nvm = NvmDevice::new(NvmConfig::table_i(128));
+/// nvm.write_block(0x1000, &[7u8; 128], WriteCategory::Data);
+/// assert_eq!(nvm.read_block(0x1000)[0], 7);
+/// assert_eq!(nvm.writes_in(WriteCategory::Data), 1);
+///
+/// // Timing: a write occupies its bank for 2000 cycles (500 ns @ 4 GHz).
+/// let done = nvm.time_access(Cycle(0), 0x1000, true);
+/// assert_eq!(done, Cycle(2000));
+/// let done2 = nvm.time_access(Cycle(0), 0x1000, true); // same bank: serialized
+/// assert_eq!(done2, Cycle(4000));
+/// ```
+#[derive(Debug)]
+pub struct NvmDevice {
+    config: NvmConfig,
+    /// Sparse block store: block-aligned address -> block image.
+    blocks: HashMap<u64, Vec<u8>>,
+    /// Per-bank earliest availability.
+    bank_busy_until: Vec<Cycle>,
+    wear: WearTracker,
+    stats: StatsRegistry,
+}
+
+impl NvmDevice {
+    /// Creates an empty (all-zero) device.
+    #[must_use]
+    pub fn new(config: NvmConfig) -> Self {
+        NvmDevice {
+            config,
+            blocks: HashMap::new(),
+            bank_busy_until: vec![Cycle::ZERO; config.num_banks],
+            wear: WearTracker::new(),
+            stats: StatsRegistry::new(),
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> NvmConfig {
+        self.config
+    }
+
+    fn align(&self, addr: u64) -> u64 {
+        addr - addr % self.config.block_bytes as u64
+    }
+
+    fn check_range(&self, addr: u64) {
+        assert!(
+            addr < self.config.capacity_bytes,
+            "address {addr:#x} beyond NVM capacity {:#x}",
+            self.config.capacity_bytes
+        );
+    }
+
+    /// The bank servicing `addr` (low block-address bits).
+    #[must_use]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((self.align(addr) / self.config.block_bytes as u64) % self.config.num_banks as u64)
+            as usize
+    }
+
+    // ---- functional interface -------------------------------------------
+
+    /// Reads the block containing `addr`. Untouched blocks read as zeros.
+    #[must_use]
+    pub fn read_block(&self, addr: u64) -> Vec<u8> {
+        self.check_range(addr);
+        let block = self.align(addr);
+        self.blocks
+            .get(&block)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.config.block_bytes])
+    }
+
+    /// Writes one full block, tagged with a traffic category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one block, or `addr` is out of range.
+    pub fn write_block(&mut self, addr: u64, data: &[u8], category: WriteCategory) {
+        self.check_range(addr);
+        assert_eq!(
+            data.len(),
+            self.config.block_bytes,
+            "write must be one full block"
+        );
+        let block = self.align(addr);
+        self.blocks.insert(block, data.to_vec());
+        self.wear.record(block);
+        self.stats
+            .counter(&format!("nvm.writes.{}", category.tag()))
+            .incr();
+    }
+
+    /// Records a write for accounting/wear without storing bytes.
+    ///
+    /// Fast timing-only simulations use this when functional contents are
+    /// disabled; the write still counts toward categories and wear.
+    pub fn note_write(&mut self, addr: u64, category: WriteCategory) {
+        self.check_range(addr);
+        let block = self.align(addr);
+        self.wear.record(block);
+        self.stats
+            .counter(&format!("nvm.writes.{}", category.tag()))
+            .incr();
+    }
+
+    /// Reads `len` bytes starting at `addr` (may span blocks).
+    #[must_use]
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let bs = self.config.block_bytes as u64;
+        let mut cur = addr;
+        while out.len() < len {
+            let block = self.align(cur);
+            let offset = (cur - block) as usize;
+            let img = self.read_block(cur);
+            let take = (len - out.len()).min(self.config.block_bytes - offset);
+            out.extend_from_slice(&img[offset..offset + take]);
+            cur = block + bs;
+        }
+        out
+    }
+
+    /// Corrupts one byte in place — used by tamper-detection tests. Does
+    /// not count as a tracked write (an attacker bypasses the controller).
+    pub fn tamper(&mut self, addr: u64, xor_mask: u8) {
+        self.check_range(addr);
+        let block = self.align(addr);
+        let offset = (addr - block) as usize;
+        let img = self
+            .blocks
+            .entry(block)
+            .or_insert_with(|| vec![0; self.config.block_bytes]);
+        img[offset] ^= xor_mask;
+    }
+
+    /// Number of distinct blocks ever written.
+    #[must_use]
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Addresses of all materialized blocks in `[lo, hi)`, sorted.
+    /// Recovery uses this to enumerate the counter blocks to rebuild the
+    /// integrity tree from.
+    #[must_use]
+    pub fn block_addrs_in(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .blocks
+            .keys()
+            .copied()
+            .filter(|&a| (lo..hi).contains(&a))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    // ---- timing interface -----------------------------------------------
+
+    /// Schedules an access beginning no earlier than `now`; returns its
+    /// completion cycle and occupies the bank until then.
+    pub fn time_access(&mut self, now: Cycle, addr: u64, is_write: bool) -> Cycle {
+        self.check_range(addr);
+        let bank = self.bank_of(addr);
+        let latency = if is_write {
+            self.config.write_cycles()
+        } else {
+            self.config.read_cycles()
+        };
+        let start = now.max(self.bank_busy_until[bank]);
+        let done = start + latency;
+        self.bank_busy_until[bank] = done;
+        self.stats
+            .counter(if is_write {
+                "nvm.timing.writes"
+            } else {
+                "nvm.timing.reads"
+            })
+            .incr();
+        done
+    }
+
+    /// Earliest cycle at which a new access to `addr` could start.
+    #[must_use]
+    pub fn earliest_start(&self, now: Cycle, addr: u64) -> Cycle {
+        now.max(self.bank_busy_until[self.bank_of(addr)])
+    }
+
+    /// Resets all bank timing (not the functional state). Used between the
+    /// warm-up and measured phases of an experiment.
+    pub fn reset_timing(&mut self) {
+        self.bank_busy_until.fill(Cycle::ZERO);
+    }
+
+    // ---- statistics -------------------------------------------------------
+
+    /// Count of functional writes in `category`.
+    #[must_use]
+    pub fn writes_in(&self, category: WriteCategory) -> u64 {
+        self.stats
+            .counter_value(&format!("nvm.writes.{}", category.tag()))
+    }
+
+    /// Total functional writes across all categories.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.stats.sum_prefix("nvm.writes.")
+    }
+
+    /// The wear tracker (per-block write counts).
+    #[must_use]
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// The device's stats registry.
+    #[must_use]
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Zeroes all statistics and wear (keeps functional contents). Used at
+    /// the end of warm-up so measured counts cover only the region of
+    /// interest.
+    pub fn reset_stats(&mut self) {
+        self.stats.clear();
+        self.wear = WearTracker::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NvmDevice {
+        NvmDevice::new(NvmConfig::table_i(128))
+    }
+
+    #[test]
+    fn table_i_latencies() {
+        let c = NvmConfig::table_i(128);
+        assert_eq!(c.read_cycles(), 600);
+        assert_eq!(c.write_cycles(), 2000);
+        assert_eq!(c.capacity_bytes, 32 << 30);
+    }
+
+    #[test]
+    fn untouched_blocks_read_zero() {
+        let d = dev();
+        assert_eq!(d.read_block(0x4000), vec![0u8; 128]);
+        assert_eq!(d.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut d = dev();
+        let data: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        d.write_block(0x2000, &data, WriteCategory::Data);
+        assert_eq!(d.read_block(0x2000), data);
+        assert_eq!(d.read_block(0x2040), data, "same block via inner address");
+    }
+
+    #[test]
+    fn read_bytes_spans_blocks() {
+        let mut d = dev();
+        d.write_block(0, &[0xAA; 128], WriteCategory::Data);
+        d.write_block(128, &[0xBB; 128], WriteCategory::Data);
+        let span = d.read_bytes(120, 16);
+        assert_eq!(&span[..8], &[0xAA; 8]);
+        assert_eq!(&span[8..], &[0xBB; 8]);
+    }
+
+    #[test]
+    fn category_accounting() {
+        let mut d = dev();
+        d.write_block(0, &[0; 128], WriteCategory::Data);
+        d.write_block(128, &[0; 128], WriteCategory::Data);
+        d.write_block(256, &[0; 128], WriteCategory::MacBlock);
+        d.write_block(384, &[0; 128], WriteCategory::PubBlock);
+        assert_eq!(d.writes_in(WriteCategory::Data), 2);
+        assert_eq!(d.writes_in(WriteCategory::MacBlock), 1);
+        assert_eq!(d.writes_in(WriteCategory::PubBlock), 1);
+        assert_eq!(d.writes_in(WriteCategory::CounterBlock), 0);
+        assert_eq!(d.total_writes(), 4);
+    }
+
+    #[test]
+    fn banks_serialize_same_bank_accesses() {
+        let mut d = dev();
+        let done1 = d.time_access(Cycle(0), 0, true);
+        let done2 = d.time_access(Cycle(0), 0, true);
+        assert_eq!(done1, Cycle(2000));
+        assert_eq!(done2, Cycle(4000));
+        // A later arrival starts when it arrives, not earlier.
+        let done3 = d.time_access(Cycle(10_000), 0, false);
+        assert_eq!(done3, Cycle(10_600));
+    }
+
+    #[test]
+    fn different_banks_run_in_parallel() {
+        let mut d = dev();
+        // Consecutive blocks map to consecutive banks.
+        let a = d.time_access(Cycle(0), 0, true);
+        let b = d.time_access(Cycle(0), 128, true);
+        assert_eq!(a, Cycle(2000));
+        assert_eq!(b, Cycle(2000));
+        assert_ne!(d.bank_of(0), d.bank_of(128));
+    }
+
+    #[test]
+    fn bank_mapping_is_block_granular() {
+        let d = dev();
+        assert_eq!(d.bank_of(0), d.bank_of(127));
+        assert_eq!(d.bank_of(0), d.bank_of(16 * 128)); // wraps at num_banks
+    }
+
+    #[test]
+    fn earliest_start_reflects_bank_occupancy() {
+        let mut d = dev();
+        d.time_access(Cycle(0), 0, true);
+        assert_eq!(d.earliest_start(Cycle(0), 0), Cycle(2000));
+        assert_eq!(d.earliest_start(Cycle(3000), 0), Cycle(3000));
+        assert_eq!(d.earliest_start(Cycle(0), 128), Cycle(0));
+    }
+
+    #[test]
+    fn tamper_flips_bits_without_counting() {
+        let mut d = dev();
+        d.write_block(0, &[0u8; 128], WriteCategory::Data);
+        let before_writes = d.total_writes();
+        d.tamper(5, 0xFF);
+        assert_eq!(d.read_block(0)[5], 0xFF);
+        assert_eq!(d.total_writes(), before_writes);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut d = dev();
+        d.write_block(0, &[3u8; 128], WriteCategory::Data);
+        d.reset_stats();
+        assert_eq!(d.total_writes(), 0);
+        assert_eq!(d.read_block(0)[0], 3);
+    }
+
+    #[test]
+    fn reset_timing_clears_banks() {
+        let mut d = dev();
+        d.time_access(Cycle(0), 0, true);
+        d.reset_timing();
+        assert_eq!(d.earliest_start(Cycle(0), 0), Cycle(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond NVM capacity")]
+    fn out_of_range_panics() {
+        let mut d = dev();
+        d.write_block(32 << 30, &[0; 128], WriteCategory::Data);
+    }
+
+    #[test]
+    #[should_panic(expected = "one full block")]
+    fn partial_write_panics() {
+        let mut d = dev();
+        d.write_block(0, &[0; 64], WriteCategory::Data);
+    }
+}

@@ -1,0 +1,222 @@
+//! Simulation time: cycles and clock-frequency conversions.
+//!
+//! All timing in the Thoth reproduction is expressed in processor cycles at
+//! a fixed clock frequency (4 GHz in the paper's Table I). Device latencies
+//! specified in nanoseconds (e.g. the PCM's 150 ns read / 500 ns write) are
+//! converted to cycles through [`Frequency`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in processor clock cycles.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64` cycle counts.
+/// The zero cycle is the start of simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the later of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Saturating difference `self - earlier`, in cycles.
+    ///
+    /// Returns 0 if `earlier` is actually later than `self`.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("cycle subtraction underflow: rhs is later than lhs")
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// A clock frequency, used to convert wall-clock latencies into cycles.
+///
+/// # Example
+///
+/// ```
+/// use thoth_sim_engine::Frequency;
+///
+/// let clk = Frequency::ghz(4);
+/// assert_eq!(clk.ns_to_cycles(150), 600);  // PCM read latency
+/// assert_eq!(clk.ns_to_cycles(500), 2000); // PCM write latency
+/// assert_eq!(clk.cycles_to_ns(2000), 500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frequency {
+    hz: u64,
+}
+
+impl Frequency {
+    /// Creates a frequency of `n` gigahertz.
+    #[must_use]
+    pub const fn ghz(n: u64) -> Frequency {
+        Frequency {
+            hz: n * 1_000_000_000,
+        }
+    }
+
+    /// Creates a frequency of `n` megahertz.
+    #[must_use]
+    pub const fn mhz(n: u64) -> Frequency {
+        Frequency { hz: n * 1_000_000 }
+    }
+
+    /// Raw frequency in hertz.
+    #[must_use]
+    pub const fn as_hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Converts a latency in nanoseconds into cycles, rounding up so a
+    /// device is never modeled faster than its datasheet.
+    #[must_use]
+    pub fn ns_to_cycles(self, ns: u64) -> u64 {
+        // cycles = ns * hz / 1e9, with ceiling division.
+        let num = (ns as u128) * (self.hz as u128);
+        num.div_ceil(1_000_000_000) as u64
+    }
+
+    /// Converts a cycle count into nanoseconds (truncating).
+    #[must_use]
+    pub fn cycles_to_ns(self, cycles: u64) -> u64 {
+        ((cycles as u128) * 1_000_000_000 / self.hz as u128) as u64
+    }
+
+    /// Converts a cycle count into seconds as a float, for report output.
+    #[must_use]
+    pub fn cycles_to_secs(self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz as f64
+    }
+}
+
+impl Default for Frequency {
+    /// The paper's 4 GHz core clock (Table I).
+    fn default() -> Self {
+        Frequency::ghz(4)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hz.is_multiple_of(1_000_000_000) {
+            write!(f, "{}GHz", self.hz / 1_000_000_000)
+        } else {
+            write!(f, "{}MHz", self.hz / 1_000_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle(100);
+        assert_eq!(c + 50, Cycle(150));
+        assert_eq!(Cycle(150) - Cycle(100), 50);
+        let mut c2 = Cycle(5);
+        c2 += 3;
+        assert_eq!(c2, Cycle(8));
+    }
+
+    #[test]
+    fn cycle_ordering_and_extremes() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(3).max(Cycle(7)), Cycle(7));
+        assert_eq!(Cycle(3).min(Cycle(7)), Cycle(3));
+        assert_eq!(Cycle::ZERO, Cycle(0));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle(10).saturating_since(Cycle(4)), 6);
+        assert_eq!(Cycle(4).saturating_since(Cycle(10)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn cycle_sub_underflow_panics() {
+        let _ = Cycle(1) - Cycle(2);
+    }
+
+    #[test]
+    fn frequency_table_i_latencies() {
+        let f = Frequency::default();
+        assert_eq!(f, Frequency::ghz(4));
+        assert_eq!(f.ns_to_cycles(150), 600);
+        assert_eq!(f.ns_to_cycles(500), 2000);
+    }
+
+    #[test]
+    fn ns_to_cycles_rounds_up() {
+        let f = Frequency::ghz(3); // 3 cycles per ns
+        assert_eq!(f.ns_to_cycles(1), 3);
+        let f2 = Frequency::mhz(1500); // 1.5 cycles per ns
+        assert_eq!(f2.ns_to_cycles(1), 2); // ceil(1.5)
+        assert_eq!(f2.ns_to_cycles(2), 3);
+    }
+
+    #[test]
+    fn round_trips_within_one_ns() {
+        let f = Frequency::ghz(4);
+        for ns in [0u64, 1, 150, 500, 12345] {
+            let cy = f.ns_to_cycles(ns);
+            assert_eq!(f.cycles_to_ns(cy), ns);
+        }
+    }
+
+    #[test]
+    fn cycles_to_secs() {
+        let f = Frequency::ghz(4);
+        let s = f.cycles_to_secs(4_000_000_000);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycle(42).to_string(), "42cy");
+        assert_eq!(Frequency::ghz(4).to_string(), "4GHz");
+        assert_eq!(Frequency::mhz(1500).to_string(), "1500MHz");
+    }
+}

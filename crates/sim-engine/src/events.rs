@@ -1,0 +1,185 @@
+//! A stable-order discrete-event queue.
+//!
+//! Events scheduled for the same cycle are delivered in the order they were
+//! scheduled (FIFO). This stability is essential for determinism: the full
+//! system simulator schedules core, controller, and device events at the
+//! same cycle and their relative order must not depend on heap internals.
+
+use crate::clock::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event heap: ordered by cycle, then by insertion sequence.
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (cycle, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event queue with deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use thoth_sim_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(5), 'b');
+/// q.schedule(Cycle(3), 'a');
+/// assert_eq!(q.peek_cycle(), Some(Cycle(3)));
+/// assert_eq!(q.pop(), Some((Cycle(3), 'a')));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at cycle `at`.
+    ///
+    /// Events at the same cycle fire in scheduling order.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Returns the cycle of the earliest pending event without removing it.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), "a");
+        q.schedule(Cycle(5), "b");
+        assert_eq!(q.pop(), Some((Cycle(5), "a")));
+        q.schedule(Cycle(5), "c");
+        // "b" was scheduled before "c" so it still pops first.
+        assert_eq!(q.pop(), Some((Cycle(5), "b")));
+        assert_eq!(q.pop(), Some((Cycle(5), "c")));
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_cycle(), None);
+        q.schedule(Cycle(9), ());
+        q.schedule(Cycle(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_cycle(), Some(Cycle(4)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stress_random_order_is_sorted() {
+        // Deterministic pseudo-random insertion; output must be sorted by
+        // (cycle, insertion sequence).
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut inputs = Vec::new();
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let at = Cycle(x % 1000);
+            inputs.push((at, i));
+            q.schedule(at, i);
+        }
+        let mut last: Option<(Cycle, u64)> = None;
+        while let Some((at, i)) = q.pop() {
+            if let Some((lat, lseq)) = last {
+                assert!((lat, lseq) < (at, i), "order violated");
+            }
+            last = Some((at, i));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Discrete-event simulation kernel used by every Thoth substrate.
+//!
+//! This crate provides the deterministic foundations that the NVM device
+//! model, memory controller, and full-system simulator are built on:
+//!
+//! * [`Cycle`] — a strongly-typed simulation timestamp with nanosecond
+//!   conversions at a configurable clock frequency,
+//! * [`EventQueue`] — a stable-order discrete-event queue,
+//! * [`stats`] — lightweight counters and histograms used for all
+//!   paper-facing metrics,
+//! * [`rng`] — a deterministic, seedable random-number generator so every
+//!   experiment in the paper reproduction is bit-for-bit repeatable.
+//!
+//! # Example
+//!
+//! ```
+//! use thoth_sim_engine::{Cycle, EventQueue};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Cycle(20), "late");
+//! q.schedule(Cycle(10), "early");
+//! q.schedule(Cycle(10), "early-second"); // same cycle: FIFO order
+//!
+//! assert_eq!(q.pop(), Some((Cycle(10), "early")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "early-second")));
+//! assert_eq!(q.pop(), Some((Cycle(20), "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Cycle, Frequency};
+pub use events::EventQueue;
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, StatsRegistry};

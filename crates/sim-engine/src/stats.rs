@@ -1,0 +1,313 @@
+//! Simulation statistics: named counters and histograms.
+//!
+//! Every paper-facing metric (NVM writes by category, WPQ stalls, PCB merge
+//! rate, PUB eviction outcomes, ...) is a [`Counter`] or [`Histogram`]
+//! registered in a [`StatsRegistry`]. The registry renders a stable,
+//! alphabetically sorted report so experiment output diffs cleanly.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A streaming histogram tracking count, sum, min, max and mean.
+///
+/// Used for latency distributions (e.g. persist-barrier stall cycles).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// Names are hierarchical by convention, e.g. `"nvm.writes.ciphertext"`.
+///
+/// # Example
+///
+/// ```
+/// use thoth_sim_engine::StatsRegistry;
+///
+/// let mut stats = StatsRegistry::new();
+/// stats.counter("nvm.writes.data").add(3);
+/// stats.counter("nvm.writes.mac").incr();
+/// assert_eq!(stats.counter_value("nvm.writes.data"), 3);
+/// assert_eq!(stats.counter_value("nvm.writes.unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        StatsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_owned(), Counter::new());
+        }
+        self.counters.get_mut(name).expect("just inserted")
+    }
+
+    /// Returns the current value of `name`, or 0 if it was never touched.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Returns the histogram named `name`, creating it empty if absent.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_owned(), Histogram::new());
+        }
+        self.histograms.get_mut(name).expect("just inserted")
+    }
+
+    /// Read-only view of a histogram, if it exists.
+    #[must_use]
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of the values of all counters whose name starts with `prefix`.
+    ///
+    /// Used for rollups such as total NVM writes across categories.
+    #[must_use]
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, c)| (k.as_str(), c.get()))
+    }
+
+    /// Merges another registry into this one (counter values add,
+    /// histograms concatenate).
+    pub fn merge(&mut self, other: &StatsRegistry) {
+        for (k, c) in &other.counters {
+            self.counter(k).add(c.get());
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histogram(k);
+            mine.count += h.count;
+            mine.sum += h.sum;
+            mine.min = match (mine.min, h.min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            mine.max = match (mine.max, h.max) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+    }
+
+    /// Resets every counter and histogram to empty.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+impl fmt::Display for StatsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, c) in &self.counters {
+            writeln!(f, "{name:<48} {}", c.get())?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name:<48} n={} mean={:.1} min={} max={}",
+                h.count(),
+                h.mean().unwrap_or(0.0),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.mean(), Some(20.0));
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn registry_creates_on_demand() {
+        let mut s = StatsRegistry::new();
+        s.counter("a.b").add(2);
+        s.counter("a.b").incr();
+        assert_eq!(s.counter_value("a.b"), 3);
+        assert_eq!(s.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn sum_prefix_rolls_up() {
+        let mut s = StatsRegistry::new();
+        s.counter("nvm.writes.data").add(10);
+        s.counter("nvm.writes.mac").add(5);
+        s.counter("nvm.writes.ctr").add(5);
+        s.counter("nvm.reads.data").add(99);
+        assert_eq!(s.sum_prefix("nvm.writes."), 20);
+        assert_eq!(s.sum_prefix("nvm."), 119);
+        assert_eq!(s.sum_prefix("zzz"), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = StatsRegistry::new();
+        let mut b = StatsRegistry::new();
+        a.counter("x").add(1);
+        b.counter("x").add(2);
+        b.counter("y").add(7);
+        a.histogram("h").record(10);
+        b.histogram("h").record(30);
+        a.merge(&b);
+        assert_eq!(a.counter_value("x"), 3);
+        assert_eq!(a.counter_value("y"), 7);
+        let h = a.histogram_value("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let mut s = StatsRegistry::new();
+        s.counter("b").add(2);
+        s.counter("a").add(1);
+        let text = s.to_string();
+        let pos_a = text.find("a ").unwrap();
+        let pos_b = text.find("b ").unwrap();
+        assert!(pos_a < pos_b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = StatsRegistry::new();
+        s.counter("x").add(4);
+        s.histogram("h").record(1);
+        s.clear();
+        assert_eq!(s.counter_value("x"), 0);
+        assert!(s.histogram_value("h").is_none());
+    }
+}

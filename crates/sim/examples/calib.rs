@@ -1,0 +1,36 @@
+//! Calibration sweep (development tool): explores compute-gap and WPQ
+//! watermark settings against the paper's target shapes.
+
+use thoth_sim::{run_trace, Mode, SimConfig};
+use thoth_workloads::{spec, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    for kind in WorkloadKind::ALL {
+        let wcfg = WorkloadConfig::paper_default(kind).scaled(0.5);
+        let trace = spec::generate(wcfg);
+        for gap in [150u64, 300] {
+            let mut cfg_b = SimConfig::paper_default(Mode::baseline(), 128);
+            let mut cfg_t = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+            cfg_b.compute_gap_cycles = gap;
+            cfg_t.compute_gap_cycles = gap;
+            let base = run_trace(&cfg_b, &trace);
+            let thoth = run_trace(&cfg_t, &trace);
+            println!(
+                "{:8} gap={:4} speedup={:.3} wr={:.3} ct%b={:.1} ct%t={:.1} | base {:?} | thoth {:?}",
+                kind.name(),
+                gap,
+                thoth.speedup_over(&base),
+                thoth.write_ratio_vs(&base),
+                base.ciphertext_write_fraction() * 100.0,
+                thoth.ciphertext_write_fraction() * 100.0,
+                base.writes,
+                thoth.writes,
+            );
+            println!(
+                "         base: ins={} coal={} stalls={} stallcy={} txs={} | thoth: ins={} coal={} stalls={} stallcy={}",
+                base.wpq_inserts, base.wpq_coalesced, base.wpq_full_stalls, base.wpq_stall_cycles, base.transactions,
+                thoth.wpq_inserts, thoth.wpq_coalesced, thoth.wpq_full_stalls, thoth.wpq_stall_cycles,
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Development tool: finds which counter-block leaves mismatch after
+//! crash recovery.
+
+use thoth_sim::{FunctionalMode, Mode, SecureNvm, SimConfig};
+use thoth_workloads::{spec, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let mut wl = WorkloadConfig::paper_default(WorkloadKind::Hashmap).scaled(0.25);
+    wl.warmup_txs_per_core = 50;
+    wl.txs_per_core = 100;
+    let trace = spec::generate(wl);
+    let mut cfg = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+    cfg.functional = FunctionalMode::Full;
+    cfg.pub_size_bytes = 256 << 10;
+    cfg.pub_prefill = false;
+    let mut m = SecureNvm::new(cfg);
+    m.run(&trace);
+    let snapshot = m.debug_ctr_cache_snapshot();
+    m.crash();
+    let rec = m.recover();
+    println!("root_ok={} merged={} stale={} bad={}", rec.root_verified, rec.entries_merged, rec.entries_stale, rec.blocks_failed);
+    m.debug_leaf_mismatches();
+    // Compare the pre-crash cache truth against the recovered NVM image.
+    let bad_cb = 0x4002ae000u64;
+    for (addr, img, dirty, mask) in &snapshot {
+        if *addr == bad_cb {
+            let nvm_img = m.nvm_mut().read_block(bad_cb);
+            println!("cache dirty={dirty} mask={mask:#x}");
+            for (i, (a, b)) in img.iter().zip(nvm_img.iter()).enumerate() {
+                if a != b {
+                    println!("  byte {i}: cache={a:#04x} nvm={b:#04x}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulator configuration (the paper's Table I).
+
+use serde::{Deserialize, Serialize};
+use thoth_core::EvictionPolicy;
+use thoth_nvm::NvmConfig;
+use thoth_sim_engine::Frequency;
+
+/// The secure-memory organization being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Strict persistence of counter + MAC blocks per data write (Anubis
+    /// adapted to emerging interfaces — the paper's baseline).
+    Baseline,
+    /// Thoth with the given PUB eviction policy.
+    Thoth(EvictionPolicy),
+    /// Ideal co-located-ECC Anubis (Section V-F comparison): metadata
+    /// persists for free with the data write.
+    AnubisEcc,
+    /// Enhanced ADR (the paper's Section II-B future work): the whole
+    /// cache hierarchy is inside the persistence domain, so persists ACK
+    /// immediately and security metadata persists through natural
+    /// eviction alone — no strict persistence, no PUB.
+    Eadr,
+}
+
+impl Mode {
+    /// The baseline machine.
+    #[must_use]
+    pub fn baseline() -> Mode {
+        Mode::Baseline
+    }
+
+    /// Thoth with WTSC (the paper's default policy).
+    #[must_use]
+    pub fn thoth_wtsc() -> Mode {
+        Mode::Thoth(EvictionPolicy::Wtsc)
+    }
+
+    /// Thoth with WTBC.
+    #[must_use]
+    pub fn thoth_wtbc() -> Mode {
+        Mode::Thoth(EvictionPolicy::Wtbc)
+    }
+
+    /// The eADR future-work machine.
+    #[must_use]
+    pub fn eadr() -> Mode {
+        Mode::Eadr
+    }
+
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::Thoth(EvictionPolicy::Wtsc) => "thoth-wtsc",
+            Mode::Thoth(EvictionPolicy::Wtbc) => "thoth-wtbc",
+            Mode::AnubisEcc => "anubis-ecc",
+            Mode::Eadr => "eadr",
+        }
+    }
+}
+
+/// How the PCB is arranged relative to the WPQ (Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PcbArrangement {
+    /// The paper's adopted design: partial updates first merge inside the
+    /// PCB (searching every reserved entry), and only packed full blocks
+    /// enter the WPQ.
+    #[default]
+    BeforeWpq,
+    /// The alternative: a partial update whose counter *and* MAC blocks
+    /// already have pending (coalescable) WPQ entries merges into those
+    /// full-block entries instead of consuming PCB space; everything else
+    /// falls back to the PCB path. The paper found the augmented
+    /// before-WPQ design performs equivalently.
+    AfterWpq,
+}
+
+impl PcbArrangement {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PcbArrangement::BeforeWpq => "pcb-before-wpq",
+            PcbArrangement::AfterWpq => "pcb-after-wpq",
+        }
+    }
+}
+
+/// How much functional state the run maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FunctionalMode {
+    /// Real AES ciphertexts and real MAC bytes in NVM. Required for crash
+    /// and recovery testing; slower.
+    Full,
+    /// Counters, MAC *values* and PUB contents are maintained (so all
+    /// policy decisions and write counts are identical to `Full`), but
+    /// data bytes are not encrypted or stored. For timing sweeps.
+    Fast,
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Secure-memory organization.
+    pub mode: Mode,
+    /// Functional fidelity.
+    pub functional: FunctionalMode,
+    /// Memory access granularity in bytes (128 or 256 in the evaluation).
+    pub block_bytes: usize,
+    /// Core clock (4 GHz).
+    pub frequency: Frequency,
+    /// Total WPQ entries (64). In Thoth mode, `pcb_entries` of these are
+    /// reserved for the PCB and the WPQ keeps the rest.
+    pub wpq_entries: usize,
+    /// Reserved PCB entries (8; 1/8 of the WPQ in the sensitivity study).
+    pub pcb_entries: usize,
+    /// Counter cache capacity in bytes (64 kB, 4-way).
+    pub ctr_cache_bytes: usize,
+    /// Counter cache associativity.
+    pub ctr_cache_ways: usize,
+    /// MAC cache capacity in bytes (128 kB, 8-way).
+    pub mac_cache_bytes: usize,
+    /// MAC cache associativity.
+    pub mac_cache_ways: usize,
+    /// Merkle-tree cache capacity in bytes (256 kB, 8-way).
+    pub mt_cache_bytes: usize,
+    /// Merkle-tree cache associativity.
+    pub mt_cache_ways: usize,
+    /// LLC capacity in bytes (16 MB, 16-way) — models the data-side cache
+    /// hierarchy in front of the memory controller.
+    pub llc_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// LLC hit latency in cycles (32).
+    pub llc_hit_cycles: u64,
+    /// AES engine latency in cycles (40).
+    pub aes_cycles: u64,
+    /// Hash/MAC engine latency in cycles (40).
+    pub hash_cycles: u64,
+    /// CPU compute cycles charged between consecutive trace operations.
+    pub compute_gap_cycles: u64,
+    /// PUB region size in bytes. The paper uses 64 MB on 32 GB of data;
+    /// the default here is 8 MB, proportional to the traces' footprints
+    /// (see DESIGN.md) — still ≈590 k buffered entries at 128 B blocks.
+    pub pub_size_bytes: u64,
+    /// PUB eviction threshold in percent (80).
+    pub pub_threshold_pct: u8,
+    /// Pre-fill the PUB to its threshold during warm-up, as the paper
+    /// does during fast-forwarding.
+    pub pub_prefill: bool,
+    /// PCB/WPQ arrangement (Thoth mode only; Section IV-C).
+    pub pcb_arrangement: PcbArrangement,
+    /// NVM device parameters.
+    pub nvm: NvmConfig,
+}
+
+impl SimConfig {
+    /// The paper's Table I configuration for a given mode and block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    #[must_use]
+    pub fn paper_default(mode: Mode, block_bytes: usize) -> Self {
+        SimConfig {
+            mode,
+            functional: FunctionalMode::Fast,
+            block_bytes,
+            frequency: Frequency::ghz(4),
+            wpq_entries: 64,
+            pcb_entries: 8,
+            ctr_cache_bytes: 64 << 10,
+            ctr_cache_ways: 4,
+            mac_cache_bytes: 128 << 10,
+            mac_cache_ways: 8,
+            mt_cache_bytes: 256 << 10,
+            mt_cache_ways: 8,
+            llc_bytes: 16 << 20,
+            llc_ways: 16,
+            llc_hit_cycles: 32,
+            aes_cycles: 40,
+            hash_cycles: 40,
+            compute_gap_cycles: 300,
+            pub_size_bytes: 8 << 20,
+            pub_threshold_pct: 80,
+            pub_prefill: true,
+            pcb_arrangement: PcbArrangement::default(),
+            nvm: NvmConfig::table_i(block_bytes),
+        }
+    }
+
+    /// Effective WPQ capacity: in Thoth mode the PCB entries are carved
+    /// out of the WPQ (64 → 56 + 8 in the paper).
+    #[must_use]
+    pub fn effective_wpq_entries(&self) -> usize {
+        match self.mode {
+            Mode::Thoth(_) => self.wpq_entries.saturating_sub(self.pcb_entries).max(1),
+            _ => self.wpq_entries,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent settings (zero sizes, PCB larger than WPQ).
+    pub fn validate(&self) {
+        assert!(self.block_bytes.is_power_of_two(), "block size power of two");
+        assert!(self.wpq_entries > 0);
+        assert!(
+            self.pcb_entries < self.wpq_entries,
+            "PCB must leave WPQ entries"
+        );
+        assert!(self.pub_size_bytes >= self.block_bytes as u64);
+        if matches!(self.mode, Mode::Thoth(_)) {
+            // The ADR crash flush writes up to `pcb_entries` packed blocks
+            // into the PUB without running eviction; the region must keep
+            // that much headroom above the eviction threshold.
+            let capacity = self.pub_size_bytes / self.block_bytes as u64;
+            let threshold = capacity * u64::from(self.pub_threshold_pct) / 100;
+            assert!(
+                capacity - threshold >= self.pcb_entries as u64,
+                "PUB too small: {capacity} blocks at {}% leaves less headroom                  than the {} PCB slots a crash flush can add",
+                self.pub_threshold_pct,
+                self.pcb_entries
+            );
+        }
+        assert_eq!(self.nvm.block_bytes, self.block_bytes, "NVM block mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_i() {
+        let c = SimConfig::paper_default(Mode::baseline(), 128);
+        assert_eq!(c.wpq_entries, 64);
+        assert_eq!(c.pcb_entries, 8);
+        assert_eq!(c.ctr_cache_bytes, 64 << 10);
+        assert_eq!(c.mac_cache_bytes, 128 << 10);
+        assert_eq!(c.mt_cache_bytes, 256 << 10);
+        assert_eq!(c.aes_cycles, 40);
+        assert_eq!(c.hash_cycles, 40);
+        assert_eq!(c.pub_threshold_pct, 80);
+        c.validate();
+    }
+
+    #[test]
+    fn thoth_reserves_wpq_entries() {
+        let base = SimConfig::paper_default(Mode::baseline(), 128);
+        let thoth = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+        assert_eq!(base.effective_wpq_entries(), 64);
+        assert_eq!(thoth.effective_wpq_entries(), 56);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::baseline().label(), "baseline");
+        assert_eq!(Mode::thoth_wtsc().label(), "thoth-wtsc");
+        assert_eq!(Mode::thoth_wtbc().label(), "thoth-wtbc");
+        assert_eq!(Mode::AnubisEcc.label(), "anubis-ecc");
+        assert_eq!(Mode::eadr().label(), "eadr");
+    }
+
+    #[test]
+    fn arrangement_labels() {
+        assert_eq!(PcbArrangement::BeforeWpq.label(), "pcb-before-wpq");
+        assert_eq!(PcbArrangement::AfterWpq.label(), "pcb-after-wpq");
+        assert_eq!(PcbArrangement::default(), PcbArrangement::BeforeWpq);
+    }
+
+    #[test]
+    #[should_panic(expected = "PCB must leave WPQ entries")]
+    fn oversized_pcb_panics() {
+        let mut c = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+        c.pcb_entries = 64;
+        c.validate();
+    }
+}

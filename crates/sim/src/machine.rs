@@ -1,0 +1,1383 @@
+//! The secure-NVM machine: cores, secure memory controller, WPQ, PCB,
+//! PUB and the NVM device, replaying workload traces.
+
+use crate::config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
+use crate::layout::MemoryLayout;
+use crate::report::{RecoveryReport, SimReport};
+
+use thoth_cache::{CacheConfig, CacheStats, SetAssocCache};
+use thoth_core::recovery::RecoveryCostModel;
+use thoth_core::engine::{ThothEngine, ThothHost};
+use thoth_core::policy::{BlockView, MetadataKind};
+use thoth_core::{EvictOutcome, PartialUpdate, PcbStats, PubConfig};
+use thoth_crypto::counter::CounterGroup;
+use thoth_crypto::{CtrMode, MacEngine, MacKey};
+use thoth_memctrl::{Wpq, WpqConfig, WpqStats};
+use thoth_merkle::{BonsaiTree, MerkleConfig, ShadowTracker};
+use thoth_nvm::{NvmDevice, WriteCategory};
+use thoth_sim_engine::{Cycle, EventQueue};
+use thoth_workloads::{MultiCoreTrace, TraceOp};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Keys are fixed for reproducibility; a real system draws them at boot.
+const ENC_KEY: [u8; 16] = *b"thoth-enc-key..!";
+const MAC_KEY: [u8; 16] = *b"thoth-mac-key..!";
+const TREE_KEY: u64 = 0x7407_113A_57EE_C0DE;
+
+/// How many warm-up partial updates to keep for PUB pre-filling.
+const PREFILL_POOL: usize = 8192;
+
+/// The full machine. See the crate docs for the overall structure.
+pub struct SecureNvm {
+    config: SimConfig,
+    layout: MemoryLayout,
+    nvm: NvmDevice,
+    wpq: Wpq,
+    ctr_mode: CtrMode,
+    mac: MacEngine,
+    /// Counter cache: payload = unpacked split-counter groups.
+    ctr_cache: SetAssocCache<Vec<CounterGroup>>,
+    /// MAC cache: payload = the MAC block image (first-level MACs).
+    mac_cache: SetAssocCache<Vec<u8>>,
+    /// Merkle-tree cache: payload-free (the logical tree holds values).
+    mt_cache: SetAssocCache<()>,
+    /// Data-side LLC model.
+    llc: SetAssocCache<()>,
+    /// The logical (always fresh) integrity tree; its root models the
+    /// on-chip persistent root register.
+    tree: BonsaiTree,
+    shadow: ShadowTracker,
+    shadow_writes_emitted: u64,
+    /// The paper's mechanism (Thoth modes only).
+    thoth: Option<ThothEngine>,
+    /// Per-data-block logical write version (the "application data").
+    data_versions: HashMap<u64, u64>,
+    /// Ring of warm-up partial updates used to pre-fill the PUB.
+    prefill_pool: Vec<PartialUpdate>,
+    /// Thoth/after-WPQ: partial updates absorbed by pending WPQ entries.
+    pcb_wpq_bypass: u64,
+    transactions: u64,
+}
+
+/// Per-core replay cursor.
+struct CoreState {
+    time: Cycle,
+    /// Persist ACKs outstanding in the current transaction.
+    pending_ack: Cycle,
+    idx: usize,
+    txs_done: usize,
+    done: bool,
+}
+
+impl SecureNvm {
+    /// Builds a machine from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        let layout = MemoryLayout::new(config.block_bytes);
+        let meta_block = config.block_bytes;
+        let thoth = match config.mode {
+            Mode::Thoth(policy) => Some(ThothEngine::new(
+                policy,
+                config.pcb_entries,
+                PubConfig {
+                    base_addr: layout.pub_base,
+                    size_bytes: config.pub_size_bytes,
+                    block_bytes: config.block_bytes,
+                    evict_threshold_pct: config.pub_threshold_pct,
+                },
+            )),
+            _ => None,
+        };
+        let wpq_cfg = WpqConfig::with_capacity(config.effective_wpq_entries());
+        SecureNvm {
+            layout,
+            nvm: NvmDevice::new(config.nvm),
+            wpq: Wpq::new(wpq_cfg),
+            ctr_mode: CtrMode::new(&ENC_KEY),
+            mac: MacEngine::new(MacKey(MAC_KEY)),
+            ctr_cache: SetAssocCache::new(CacheConfig::new(
+                config.ctr_cache_bytes,
+                config.ctr_cache_ways,
+                meta_block,
+            )),
+            mac_cache: SetAssocCache::new(CacheConfig::new(
+                config.mac_cache_bytes,
+                config.mac_cache_ways,
+                meta_block,
+            )),
+            mt_cache: SetAssocCache::new(CacheConfig::new(
+                config.mt_cache_bytes,
+                config.mt_cache_ways,
+                64,
+            )),
+            llc: SetAssocCache::new(CacheConfig::new(
+                config.llc_bytes,
+                config.llc_ways,
+                meta_block,
+            )),
+            tree: BonsaiTree::new(MerkleConfig::new(8, layout.tree_leaves()), TREE_KEY),
+            shadow: ShadowTracker::new(),
+            shadow_writes_emitted: 0,
+            thoth,
+            data_versions: HashMap::new(),
+            prefill_pool: Vec::new(),
+            pcb_wpq_bypass: 0,
+            transactions: 0,
+            config,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The address-space layout.
+    #[must_use]
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    /// Direct access to the NVM device (tests use this for tamper
+    /// injection and content checks).
+    pub fn nvm_mut(&mut self) -> &mut NvmDevice {
+        &mut self.nvm
+    }
+
+    /// The on-chip integrity-tree root register.
+    #[must_use]
+    pub fn root(&self) -> u64 {
+        self.tree.root()
+    }
+
+    // ------------------------------------------------------------------
+    // Functional helpers
+    // ------------------------------------------------------------------
+
+    /// Deterministic plaintext of a data block at a logical version.
+    fn plaintext(&self, addr: u64, version: u64) -> Vec<u8> {
+        let mut out = vec![0u8; self.config.block_bytes];
+        let mut x = addr ^ version.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xA5A5_A5A5;
+        for chunk in out.chunks_mut(8) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        out
+    }
+
+    /// First-level MAC: real (over ciphertext) in Full mode, fabricated
+    /// deterministically from the counter in Fast mode.
+    fn first_level_mac(&self, addr: u64, major: u64, minor: u8, ct: Option<&[u8]>) -> Vec<u8> {
+        match ct {
+            Some(ct) => self.mac.first_level(addr, major, minor, ct),
+            None => {
+                let words = self.layout.mac_len() / 8;
+                let mut out = Vec::with_capacity(self.layout.mac_len());
+                for i in 0..words {
+                    out.extend_from_slice(
+                        &self
+                            .mac
+                            .raw_hash(
+                                &[addr, major, u64::from(minor), i as u64]
+                                    .iter()
+                                    .flat_map(|w| w.to_le_bytes())
+                                    .collect::<Vec<u8>>(),
+                            )
+                            .to_le_bytes(),
+                    );
+                }
+                out
+            }
+        }
+    }
+
+    fn pack_ctr_block(&self, groups: &[CounterGroup]) -> Vec<u8> {
+        self.layout.ctr_geometry.pack(groups)
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata cache management
+    // ------------------------------------------------------------------
+
+    /// Ensures a counter block is cached; returns added latency.
+    ///
+    /// Misses snoop the WPQ first (read forwarding): a pending write-back
+    /// holds newer state than the device, and fetching around it would
+    /// regress counters.
+    fn ensure_ctr(&mut self, now: Cycle, cb: u64) -> u64 {
+        if self.ctr_cache.lookup(cb).is_some() {
+            return 0;
+        }
+        let (image, latency) = match self.wpq.forward(cb) {
+            Some(img) => (img.clone(), 0),
+            None => {
+                let img = self.nvm.read_block(cb);
+                let done = self.nvm.time_access(now, cb, false);
+                (img, done - now)
+            }
+        };
+        let groups = self.layout.ctr_geometry.unpack(&image);
+        if let Some(ev) = self.ctr_cache.insert(cb, groups) {
+            self.writeback_ctr(now, ev.addr, &ev.value, ev.dirty);
+        }
+        latency
+    }
+
+    /// Ensures a MAC block is cached; returns added latency. Snoops the
+    /// WPQ like [`Self::ensure_ctr`].
+    fn ensure_mac(&mut self, now: Cycle, mb: u64) -> u64 {
+        if self.mac_cache.lookup(mb).is_some() {
+            return 0;
+        }
+        let (image, latency) = match self.wpq.forward(mb) {
+            Some(img) => (img.clone(), 0),
+            None => {
+                let img = self.nvm.read_block(mb);
+                let done = self.nvm.time_access(now, mb, false);
+                (img, done - now)
+            }
+        };
+        if let Some(ev) = self.mac_cache.insert(mb, image) {
+            self.writeback_mac(now, ev.addr, &ev.value, ev.dirty);
+        }
+        latency
+    }
+
+    /// Natural write-back of an evicted counter block.
+    fn writeback_ctr(&mut self, now: Cycle, addr: u64, groups: &[CounterGroup], dirty: bool) {
+        if dirty {
+            let image = self.pack_ctr_block(groups);
+            self.wpq
+                .insert(now, addr, Some(image), WriteCategory::CounterBlock, &mut self.nvm);
+            self.note_shadow_clean(now, addr);
+        }
+    }
+
+    /// Natural write-back of an evicted MAC block.
+    fn writeback_mac(&mut self, now: Cycle, addr: u64, image: &[u8], dirty: bool) {
+        if dirty {
+            self.wpq.insert(
+                now,
+                addr,
+                Some(image.to_vec()),
+                WriteCategory::MacBlock,
+                &mut self.nvm,
+            );
+            self.note_shadow_clean(now, addr);
+        }
+    }
+
+    fn note_shadow_dirty(&mut self, now: Cycle, addr: u64) {
+        if matches!(self.config.mode, Mode::Baseline | Mode::Eadr) {
+            // Baseline: strict persistence keeps NVM consistent.
+            // eADR: the caches themselves are persistent.
+            return;
+        }
+        if self.shadow.note_dirty(addr) {
+            self.emit_shadow_write(now);
+        }
+    }
+
+    fn note_shadow_clean(&mut self, now: Cycle, addr: u64) {
+        if matches!(self.config.mode, Mode::Baseline | Mode::Eadr) {
+            return;
+        }
+        if self.shadow.note_clean(addr) {
+            self.emit_shadow_write(now);
+        }
+    }
+
+    /// Shadow updates pack `block/8` entries per block; emit one block
+    /// write per full pack.
+    fn emit_shadow_write(&mut self, now: Cycle) {
+        let per_block = (self.config.block_bytes / 8) as u64;
+        let n = self.shadow.updates();
+        if n.is_multiple_of(per_block) {
+            let addr = self.layout.shadow_addr(n);
+            self.wpq
+                .insert(now, addr, None, WriteCategory::Shadow, &mut self.nvm);
+            self.shadow_writes_emitted += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The secure write pipeline
+    // ------------------------------------------------------------------
+
+    /// Performs one persistent block store; returns the persist-ACK cycle.
+    fn store_block(&mut self, now: Cycle, addr: u64) -> Cycle {
+        let index = self.layout.block_index(addr);
+        let (cb, group, slot) = self.layout.ctr_location(index);
+        let (mb, mslot) = self.layout.mac_location(index);
+
+        // Fetch metadata (misses overlap with each other).
+        let lat_c = self.ensure_ctr(now, cb);
+        let lat_m = self.ensure_mac(now, mb);
+        let mut t = now + lat_c.max(lat_m);
+
+        // Status bits are sampled BEFORE this update dirties the blocks.
+        let ctr_was_dirty = self.ctr_cache.is_dirty(cb);
+        let mac_was_dirty = self.mac_cache.is_dirty(mb);
+
+        // Increment the counter.
+        let groups = self.ctr_cache.lookup_mut(cb).expect("ensured");
+        let outcome = groups[group].increment(slot);
+        let (major, minor) = groups[group].value_of(slot);
+        let overflowed = outcome == thoth_crypto::counter::IncrementOutcome::MajorOverflow;
+
+        // Application data version bump.
+        let version = self.data_versions.entry(index).or_insert(0);
+        *version += 1;
+        let version = *version;
+
+        // Encrypt + first-level MAC (pad generation overlaps the fetch;
+        // charge the serial tail).
+        t += self.config.aes_cycles + self.config.hash_cycles;
+        let ciphertext = match self.config.functional {
+            FunctionalMode::Full => {
+                let pt = self.plaintext(addr, version);
+                Some(self.ctr_mode.encrypt(addr, major, minor, &pt))
+            }
+            FunctionalMode::Fast => None,
+        };
+        let first_mac = self.first_level_mac(addr, major, minor, ciphertext.as_deref());
+
+        // Update the MAC cache image.
+        let mac_len = self.layout.mac_len();
+        let img = self.mac_cache.lookup_mut(mb).expect("ensured");
+        img[mslot * mac_len..(mslot + 1) * mac_len].copy_from_slice(&first_mac);
+
+        // Eager integrity-tree update over the cached counter block.
+        let leaf = self.layout.tree_leaf(cb);
+        let packed = {
+            let groups = self.ctr_cache.peek(cb).expect("ensured");
+            self.pack_ctr_block(groups)
+        };
+        let leaf_hash = self.tree.leaf_hash_of(cb, &packed);
+        let path = self.tree.update_leaf(leaf, leaf_hash);
+        t += self.config.hash_cycles; // eager cache-tree update
+        if matches!(self.config.mode, Mode::Baseline) {
+            // "we calculate another hash for the last level" (Section V-A)
+            t += self.config.hash_cycles;
+        }
+        // Lazy NVM tree: touch path nodes in the MT cache; dirty evictions
+        // become TreeNode writes.
+        for node in &path {
+            let naddr = self.layout.tree_node_addr(node.level, node.index);
+            if self.mt_cache.lookup(naddr).is_none() {
+                if let Some(ev) = self.mt_cache.insert(naddr, ()) {
+                    if ev.dirty {
+                        self.wpq.insert(
+                            t,
+                            ev.addr,
+                            None,
+                            WriteCategory::TreeNode,
+                            &mut self.nvm,
+                        );
+                    }
+                }
+            }
+            self.mt_cache.mark_dirty(naddr, None);
+        }
+
+        // Persist, per mode.
+        let data_ack = self
+            .wpq
+            .insert(t, addr, ciphertext, WriteCategory::Data, &mut self.nvm);
+        let mut ack = data_ack;
+
+        match self.config.mode {
+            Mode::Baseline => {
+                // Strict persistence: full counter + MAC blocks each write.
+                let ctr_img = packed;
+                let mac_img = self.mac_cache.peek(mb).expect("ensured").clone();
+                let a1 = self
+                    .wpq
+                    .insert(t, cb, Some(ctr_img), WriteCategory::CounterBlock, &mut self.nvm);
+                let a2 = self
+                    .wpq
+                    .insert(t, mb, Some(mac_img), WriteCategory::MacBlock, &mut self.nvm);
+                // NVM is now (logically) current: caches stay clean.
+                self.ctr_cache.clean(cb);
+                self.mac_cache.clean(mb);
+                ack = ack.max(a1).max(a2);
+            }
+            Mode::AnubisEcc => {
+                // Metadata rides along with data via ECC bits / MAC chip:
+                // caches dirty, persisted only through natural eviction.
+                self.ctr_cache
+                    .mark_dirty(cb, Some(self.layout.ctr_subblock(index) % 64));
+                self.mac_cache.mark_dirty(mb, Some(mslot % 64));
+                self.note_shadow_dirty(t, cb);
+                self.note_shadow_dirty(t, mb);
+            }
+            Mode::Eadr => {
+                // The entire hierarchy is persistent: the store is durable
+                // the moment it executes; NVM traffic is eviction-driven.
+                self.ctr_cache
+                    .mark_dirty(cb, Some(self.layout.ctr_subblock(index) % 64));
+                self.mac_cache.mark_dirty(mb, Some(mslot % 64));
+                ack = t;
+            }
+            Mode::Thoth(_) => {
+                // Second-level MAC for the partial update.
+                t += self.config.hash_cycles;
+                let mac2 = self.mac.second_level(addr, &first_mac);
+                self.ctr_cache
+                    .mark_dirty(cb, Some(self.layout.ctr_subblock(index) % 64));
+                self.mac_cache.mark_dirty(mb, Some(mslot % 64));
+                self.note_shadow_dirty(t, cb);
+                self.note_shadow_dirty(t, mb);
+                let pu = PartialUpdate {
+                    block_index: index as u32,
+                    minor,
+                    mac2,
+                    ctr_status: !ctr_was_dirty,
+                    mac_status: !mac_was_dirty,
+                };
+                // PCB-after-WPQ (Section IV-C): if both metadata blocks
+                // already have coalescable full-block entries pending in
+                // the WPQ, merge into those instead of using PCB space.
+                if self.config.pcb_arrangement == PcbArrangement::AfterWpq
+                    && self.wpq.contains_coalescable(cb)
+                    && self.wpq.contains_coalescable(mb)
+                {
+                    let ctr_img = {
+                        let groups = self.ctr_cache.peek(cb).expect("ensured");
+                        self.pack_ctr_block(groups)
+                    };
+                    let mac_img = self.mac_cache.peek(mb).expect("ensured").clone();
+                    self.wpq
+                        .insert(t, cb, Some(ctr_img), WriteCategory::CounterBlock, &mut self.nvm);
+                    self.wpq
+                        .insert(t, mb, Some(mac_img), WriteCategory::MacBlock, &mut self.nvm);
+                    self.ctr_cache.clean(cb);
+                    self.mac_cache.clean(mb);
+                    self.note_shadow_clean(t, cb);
+                    self.note_shadow_clean(t, mb);
+                    self.pcb_wpq_bypass += 1;
+                } else {
+                    ack = ack.max(self.insert_partial_update(t, pu));
+                }
+            }
+        }
+
+        // Minor-counter overflow: persist the counter block immediately
+        // and re-encrypt the page.
+        if overflowed {
+            ack = ack.max(self.handle_overflow(t, cb, index));
+        }
+        ack
+    }
+
+    /// Inserts a partial update into the PCB, handling emission into the
+    /// PUB and PUB eviction pressure. Returns the persist-ACK cycle (PCB
+    /// acceptance is immediate: it is ADR-backed).
+    fn insert_partial_update(&mut self, now: Cycle, pu: PartialUpdate) -> Cycle {
+        if self.prefill_pool.len() < PREFILL_POOL {
+            self.prefill_pool.push(pu);
+        } else {
+            let i = (pu.block_index as usize * 31 + pu.minor as usize) % PREFILL_POOL;
+            self.prefill_pool[i] = pu;
+        }
+        let Self {
+            thoth,
+            layout,
+            nvm,
+            wpq,
+            ctr_cache,
+            mac_cache,
+            mac,
+            shadow,
+            shadow_writes_emitted,
+            config,
+            ..
+        } = self;
+        let mut host = MachineHost {
+            now,
+            layout,
+            block_bytes: config.block_bytes,
+            shadow_tracking: !matches!(config.mode, Mode::Baseline | Mode::Eadr),
+            nvm,
+            wpq,
+            ctr_cache,
+            mac_cache,
+            mac,
+            shadow,
+            shadow_writes_emitted,
+        };
+        thoth.as_mut().expect("Thoth mode").insert(pu, &mut host);
+        now
+    }
+
+    /// Minor-counter overflow: eagerly persist the counter block and
+    /// re-encrypt every written block of the overflowed page.
+    fn handle_overflow(&mut self, now: Cycle, cb: u64, trigger_index: u64) -> Cycle {
+        // Eager counter-block persist.
+        let image = {
+            let groups = self.ctr_cache.peek(cb).expect("resident");
+            self.pack_ctr_block(groups)
+        };
+        let mut ack = self
+            .wpq
+            .insert(now, cb, Some(image), WriteCategory::CounterBlock, &mut self.nvm);
+        self.ctr_cache.clean(cb);
+        self.note_shadow_clean(now, cb);
+
+        // Re-encrypt the page of the triggering block.
+        let bpp = self.layout.ctr_geometry.blocks_per_page as u64;
+        let page_first = trigger_index - trigger_index % bpp;
+        let mut t = now;
+        for idx in page_first..page_first + bpp {
+            if idx == trigger_index {
+                continue; // the triggering write re-encrypts it anyway
+            }
+            if !self.data_versions.contains_key(&idx) {
+                continue; // never written: nothing to re-encrypt
+            }
+            t += 2 * self.config.aes_cycles; // decrypt + encrypt
+            let a = self.reencrypt_block(t, idx);
+            ack = ack.max(a);
+        }
+        ack
+    }
+
+    /// Re-encrypts one data block under its current (post-overflow)
+    /// counter, updating its MAC and emitting the data write.
+    fn reencrypt_block(&mut self, now: Cycle, index: u64) -> Cycle {
+        let addr = self.layout.block_addr(index);
+        let (cb, group, slot) = self.layout.ctr_location(index);
+        let (mb, mslot) = self.layout.mac_location(index);
+        let lat = self.ensure_mac(now, mb);
+        let t = now + lat;
+        let (major, minor) = {
+            let groups = self.ctr_cache.peek(cb).expect("resident");
+            groups[group].value_of(slot)
+        };
+        let version = self.data_versions[&index];
+        let ciphertext = match self.config.functional {
+            FunctionalMode::Full => {
+                let pt = self.plaintext(addr, version);
+                Some(self.ctr_mode.encrypt(addr, major, minor, &pt))
+            }
+            FunctionalMode::Fast => None,
+        };
+        let first_mac = self.first_level_mac(addr, major, minor, ciphertext.as_deref());
+        let mac_len = self.layout.mac_len();
+        let mac_was_dirty = self.mac_cache.is_dirty(mb);
+        let img = self.mac_cache.lookup_mut(mb).expect("ensured");
+        img[mslot * mac_len..(mslot + 1) * mac_len].copy_from_slice(&first_mac);
+        let ack = self
+            .wpq
+            .insert(t, addr, ciphertext, WriteCategory::Data, &mut self.nvm);
+        match self.config.mode {
+            Mode::Baseline => {
+                let mac_img = self.mac_cache.peek(mb).expect("ensured").clone();
+                self.wpq
+                    .insert(t, mb, Some(mac_img), WriteCategory::MacBlock, &mut self.nvm);
+                self.mac_cache.clean(mb);
+            }
+            Mode::AnubisEcc => {
+                self.mac_cache.mark_dirty(mb, Some(mslot % 64));
+                self.note_shadow_dirty(t, mb);
+            }
+            Mode::Eadr => {
+                self.mac_cache.mark_dirty(mb, Some(mslot % 64));
+            }
+            Mode::Thoth(_) => {
+                self.mac_cache.mark_dirty(mb, Some(mslot % 64));
+                self.note_shadow_dirty(t, mb);
+                let mac2 = self.mac.second_level(addr, &first_mac);
+                let pu = PartialUpdate {
+                    block_index: index as u32,
+                    minor,
+                    mac2,
+                    // The counter block was just eagerly persisted (clean).
+                    ctr_status: false,
+                    mac_status: !mac_was_dirty,
+                };
+                self.insert_partial_update(t, pu);
+            }
+        }
+        ack
+    }
+
+    /// One data read through the LLC and (on a miss) the secure read path.
+    fn read_block_timed(&mut self, now: Cycle, addr: u64) -> u64 {
+        if self.llc.lookup(addr).is_some() {
+            return self.config.llc_hit_cycles;
+        }
+        self.llc.insert(addr, ());
+        let index = self.layout.block_index(addr);
+        let (cb, _, _) = self.layout.ctr_location(index);
+        let (mb, _) = self.layout.mac_location(index);
+        let data_done = self.nvm.time_access(now, addr, false);
+        let lat_data = data_done - now;
+        let lat_ctr = self.ensure_ctr(now, cb);
+        let lat_mac = self.ensure_mac(now, mb);
+        // Pad generation overlaps the data fetch; MAC check follows.
+        lat_data.max(lat_ctr + self.config.aes_cycles).max(lat_mac) + self.config.hash_cycles
+    }
+
+    // ------------------------------------------------------------------
+    // Trace replay
+    // ------------------------------------------------------------------
+
+    /// Replays a multi-core trace and reports measured-phase results.
+    ///
+    /// The warm-up transactions of each core run first; at the boundary
+    /// the statistics reset, cores synchronize, and (in Thoth mode with
+    /// `pub_prefill`) the PUB is filled to its eviction threshold with
+    /// warm-up-shaped entries, as the paper does during fast-forwarding.
+    pub fn run(&mut self, trace: &MultiCoreTrace) -> SimReport {
+        let mut cores: Vec<CoreState> = (0..trace.cores.len())
+            .map(|_| CoreState {
+                time: Cycle::ZERO,
+                pending_ack: Cycle::ZERO,
+                idx: 0,
+                txs_done: 0,
+                done: false,
+            })
+            .collect();
+
+        // Phase 1: warm-up.
+        self.replay(trace, &mut cores, Some(trace.warmup_txs_per_core));
+
+        // Synchronize cores at the boundary.
+        let boundary = cores.iter().map(|c| c.time).max().unwrap_or(Cycle::ZERO);
+        for c in &mut cores {
+            c.time = boundary;
+        }
+        if self.config.pub_prefill {
+            self.prefill_pub();
+        }
+        let snap = self.snapshot();
+
+        // Phase 2: measured.
+        self.replay(trace, &mut cores, None);
+        let end = cores.iter().map(|c| c.time).max().unwrap_or(boundary);
+
+        // Drain the WPQ tail so write accounting covers every persist the
+        // measured phase issued (execution time excludes the tail — the
+        // workload finished; the queue empties in the background).
+        self.wpq.drain_all(end, &mut self.nvm);
+
+        self.build_report(&snap, end.saturating_since(boundary))
+    }
+
+    /// Replays ops; with `tx_limit` set, each core stops after that many
+    /// transactions (the warm-up boundary).
+    ///
+    /// Cores interleave through the discrete-event queue: each core is an
+    /// event scheduled at its next-issue cycle; ties resolve in FIFO
+    /// (scheduling) order, deterministically.
+    fn replay(&mut self, trace: &MultiCoreTrace, cores: &mut [CoreState], tx_limit: Option<usize>) {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let ready = |c: &CoreState, i: usize| {
+            !c.done && c.idx < trace.cores[i].len() && tx_limit.is_none_or(|l| c.txs_done < l)
+        };
+        for (i, c) in cores.iter().enumerate() {
+            if ready(c, i) {
+                queue.schedule(c.time, i);
+            }
+        }
+        while let Some((_, ci)) = queue.pop() {
+            let op = trace.cores[ci][cores[ci].idx];
+            cores[ci].idx += 1;
+            if cores[ci].idx >= trace.cores[ci].len() {
+                cores[ci].done = true;
+            }
+            let now = cores[ci].time;
+            match op {
+                TraceOp::Read { addr, len } => {
+                    let mut lat = 0;
+                    for block in self.blocks_spanned(addr, len) {
+                        lat = lat.max(self.read_block_timed(now, block));
+                    }
+                    cores[ci].time = now + lat + self.config.compute_gap_cycles;
+                }
+                TraceOp::Store { addr, len } => {
+                    let mut ack = cores[ci].pending_ack;
+                    let mut t = now;
+                    for block in self.blocks_spanned(addr, len) {
+                        self.llc.insert(block, ());
+                        ack = ack.max(self.store_block(t, block));
+                        t += self.config.compute_gap_cycles;
+                    }
+                    cores[ci].pending_ack = ack;
+                    cores[ci].time = t;
+                }
+                TraceOp::Commit => {
+                    cores[ci].time = now.max(cores[ci].pending_ack);
+                    cores[ci].pending_ack = Cycle::ZERO;
+                    cores[ci].txs_done += 1;
+                    self.transactions += 1;
+                }
+            }
+            if ready(&cores[ci], ci) {
+                queue.schedule(cores[ci].time, ci);
+            }
+        }
+    }
+
+    /// Block-aligned addresses spanned by `[addr, addr+len)`.
+    fn blocks_spanned(&self, addr: u64, len: u32) -> Vec<u64> {
+        let bs = self.config.block_bytes as u64;
+        let first = addr - addr % bs;
+        let last = (addr + u64::from(len).max(1) - 1) / bs * bs;
+        (first..=last).step_by(self.config.block_bytes).collect()
+    }
+
+    /// Fills the PUB to its eviction threshold with warm-up-shaped
+    /// entries (direct functional writes — warm-up is untimed).
+    fn prefill_pub(&mut self) {
+        if self.prefill_pool.is_empty() {
+            return;
+        }
+        let Some(engine) = self.thoth.as_mut() else {
+            return;
+        };
+        let codec = engine.codec();
+        let per_block = codec.entries_per_block();
+        let pub_buf = engine.pub_buffer_mut();
+        let mut cursor = 0usize;
+        while !pub_buf.needs_eviction() {
+            let updates: Vec<PartialUpdate> = (0..per_block)
+                .map(|i| self.prefill_pool[(cursor + i) % self.prefill_pool.len()])
+                .collect();
+            cursor += per_block;
+            let addr = pub_buf.allocate_tail();
+            self.nvm
+                .write_block(addr, &codec.encode(&updates), WriteCategory::PubBlock);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    fn snapshot(&mut self) -> Snapshot {
+        self.nvm.reset_stats();
+        Snapshot {
+            wpq: self.wpq.stats(),
+            pcb: self.thoth.as_ref().map(ThothEngine::pcb_stats).unwrap_or_default(),
+            outcomes: self
+                .thoth
+                .as_ref()
+                .map(|t| t.outcomes().clone())
+                .unwrap_or_default(),
+            policy_persists: self.thoth.as_ref().map_or(0, ThothEngine::policy_persists),
+            transactions: self.transactions,
+            ctr_stats: self.ctr_cache.stats(),
+            mac_stats: self.mac_cache.stats(),
+            llc_stats: self.llc.stats(),
+        }
+    }
+
+    fn build_report(&mut self, snap: &Snapshot, cycles: u64) -> SimReport {
+        let wpq = self.wpq.stats();
+        let pcb = self.thoth.as_ref().map(ThothEngine::pcb_stats).unwrap_or_default();
+        let mut writes = BTreeMap::new();
+        for cat in WriteCategory::ALL {
+            let n = self.nvm.writes_in(cat);
+            if n > 0 {
+                writes.insert(cat.tag().to_owned(), n);
+            }
+        }
+        let mut pub_evictions = BTreeMap::new();
+        if let Some(engine) = &self.thoth {
+            for (k, v) in engine.outcomes() {
+                let delta = v - snap.outcomes.get(k).copied().unwrap_or(0);
+                if delta > 0 {
+                    pub_evictions.insert(k.label().to_owned(), delta);
+                }
+            }
+        }
+        let rate = |now: CacheStats, before: CacheStats| {
+            let h = now.hits - before.hits;
+            let m = now.misses - before.misses;
+            if h + m == 0 {
+                0.0
+            } else {
+                h as f64 / (h + m) as f64
+            }
+        };
+        SimReport {
+            mode: self.config.mode.label().to_owned(),
+            total_cycles: cycles,
+            transactions: self.transactions - snap.transactions,
+            writes,
+            nvm_reads: self.nvm.stats().counter_value("nvm.timing.reads"),
+            wpq_inserts: wpq.inserts - snap.wpq.inserts,
+            wpq_coalesced: wpq.coalesced - snap.wpq.coalesced,
+            wpq_full_stalls: wpq.full_stalls - snap.wpq.full_stalls,
+            wpq_stall_cycles: wpq.stall_cycles - snap.wpq.stall_cycles,
+            pcb_inserts: pcb.inserts - snap.pcb.inserts,
+            pcb_merged: pcb.merged - snap.pcb.merged,
+            pcb_emitted: pcb.emitted_blocks - snap.pcb.emitted_blocks,
+            pub_evictions,
+            pub_policy_persists: self.thoth.as_ref().map_or(0, ThothEngine::policy_persists)
+                - snap.policy_persists,
+            pcb_wpq_bypass: self.pcb_wpq_bypass,
+            ctr_cache_hit_rate: rate(self.ctr_cache.stats(), snap.ctr_stats),
+            mac_cache_hit_rate: rate(self.mac_cache.stats(), snap.mac_stats),
+            llc_hit_rate: rate(self.llc.stats(), snap.llc_stats),
+            wear_blocks_touched: self.nvm.wear().blocks_touched() as u64,
+            wear_hottest_writes: self.nvm.wear().hottest().map_or(0, |(_, n)| n),
+            wear_mean_writes: self.nvm.wear().mean_writes(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash & recovery (Section IV-D)
+    // ------------------------------------------------------------------
+
+    /// Simulates a power failure: the ADR domain (WPQ + PCB) flushes to
+    /// NVM, every volatile structure is lost. The integrity-tree root and
+    /// the PUB start/end registers survive (persistent registers).
+    pub fn crash(&mut self) {
+        // eADR: residual power flushes every dirty cache line to NVM
+        // before the volatile state is lost.
+        if matches!(self.config.mode, Mode::Eadr) {
+            let dirty_ctrs: Vec<(u64, Vec<u8>)> = self
+                .ctr_cache
+                .iter()
+                .filter(|(_, _, dirty, _)| *dirty)
+                .map(|(a, groups, _, _)| (a, self.pack_ctr_block(groups)))
+                .collect();
+            for (a, img) in dirty_ctrs {
+                self.nvm.write_block(a, &img, WriteCategory::CounterBlock);
+            }
+            let dirty_macs: Vec<(u64, Vec<u8>)> = self
+                .mac_cache
+                .iter()
+                .filter(|(_, _, dirty, _)| *dirty)
+                .map(|(a, img, _, _)| (a, img.clone()))
+                .collect();
+            for (a, img) in dirty_macs {
+                self.nvm.write_block(a, &img, WriteCategory::MacBlock);
+            }
+        }
+        self.wpq.crash_flush(&mut self.nvm);
+        if let Some(engine) = self.thoth.as_mut() {
+            let nvm = &mut self.nvm;
+            engine.crash_flush(|addr, image| {
+                nvm.write_block(addr, image, WriteCategory::PubBlock);
+            });
+        }
+        // Volatile state is gone. Note: the logical tree stays as the
+        // holder of the persistent *root register* only; recovery rebuilds
+        // a fresh tree from NVM and compares roots.
+        self.ctr_cache.drain();
+        self.mac_cache.drain();
+        self.mt_cache.drain();
+        self.llc.drain();
+    }
+
+    /// Runs recovery: scan the PUB oldest→youngest, merge verified
+    /// entries into the metadata blocks, rebuild the integrity tree, and
+    /// verify the root and every written data block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`FunctionalMode::Fast`] — recovery needs real bytes.
+    pub fn recover(&mut self) -> RecoveryReport {
+        assert!(
+            self.config.functional == FunctionalMode::Full,
+            "recovery requires FunctionalMode::Full"
+        );
+        let mut report = RecoveryReport::default();
+
+        // 1. Merge the PUB (oldest to youngest), timing the serial scan
+        //    on the device model.
+        self.nvm.reset_timing();
+        let mut t = Cycle::ZERO;
+        if let Some(engine) = &self.thoth {
+            let codec = engine.codec();
+            let scan = engine.recovery_scan();
+            report.pub_blocks_scanned = scan.len() as u64;
+            report.modeled_seconds = RecoveryCostModel::default()
+                .pub_recovery_secs(scan.len() as u64, codec.entries_per_block() as u64);
+            for block_addr in scan {
+                t = self.nvm.time_access(t, block_addr, false);
+                let entries = codec.decode(&self.nvm.read_block(block_addr));
+                for e in entries {
+                    report.entries_examined += 1;
+                    // Footnote 5's per-entry recipe: read ciphertext,
+                    // counter and MAC blocks, two MAC levels, then the
+                    // merge writes (charged inside merge_entry via the
+                    // `Recovery` write category; timing charged here).
+                    let index = u64::from(e.block_index);
+                    let (cb, _, _) = self.layout.ctr_location(index);
+                    let (mb, _) = self.layout.mac_location(index);
+                    t = t.max(self.nvm.time_access(t, self.layout.block_addr(index), false));
+                    t = t.max(self.nvm.time_access(t, cb, false));
+                    t = t.max(self.nvm.time_access(t, mb, false));
+                    t += 2 * self.config.hash_cycles;
+                    if self.merge_entry(&e) {
+                        report.entries_merged += 1;
+                        t = t.max(self.nvm.time_access(t, cb, true));
+                        t = t.max(self.nvm.time_access(t, mb, true));
+                    } else {
+                        report.entries_stale += 1;
+                    }
+                }
+            }
+        }
+        report.measured_seconds = self.config.frequency.cycles_to_secs(t.0);
+        self.nvm.reset_timing();
+        if let Some(engine) = self.thoth.as_mut() {
+            engine.clear();
+        }
+        report.ctr_blocks_recovered = self.nvm.writes_in(WriteCategory::Recovery);
+
+        // 2. Rebuild the integrity tree from the counter region and verify
+        //    the root against the persistent register.
+        let ctr_blocks = self
+            .nvm
+            .block_addrs_in(self.layout.ctr_base, self.layout.mac_base);
+        let rebuilt = BonsaiTree::from_leaves(
+            MerkleConfig::new(8, self.layout.tree_leaves()),
+            TREE_KEY,
+            ctr_blocks.iter().map(|&cb| {
+                let img = self.nvm.read_block(cb);
+                (self.layout.tree_leaf(cb), self.tree.leaf_hash_of(cb, &img))
+            }),
+        );
+        report.root_verified = rebuilt.root() == self.tree.root();
+
+        // 3. Verify every written data block decrypts and authenticates.
+        let mac_len = self.layout.mac_len();
+        let indices: Vec<u64> = self.data_versions.keys().copied().collect();
+        for index in indices {
+            let addr = self.layout.block_addr(index);
+            let (cb, group, slot) = self.layout.ctr_location(index);
+            let (mb, mslot) = self.layout.mac_location(index);
+            let groups = self.layout.ctr_geometry.unpack(&self.nvm.read_block(cb));
+            let (major, minor) = groups[group].value_of(slot);
+            let ct = self.nvm.read_block(addr);
+            let expect = self.mac.first_level(addr, major, minor, &ct);
+            let mac_img = self.nvm.read_block(mb);
+            if mac_img[mslot * mac_len..(mslot + 1) * mac_len] == expect[..] {
+                report.blocks_verified += 1;
+            } else {
+                report.blocks_failed += 1;
+            }
+        }
+        report
+    }
+
+    /// Diagnostic: snapshots every counter-cache line as
+    /// `(addr, packed image, dirty, dirty_mask)`.
+    #[doc(hidden)]
+    pub fn debug_ctr_cache_snapshot(&self) -> Vec<(u64, Vec<u8>, bool, u64)> {
+        self.ctr_cache
+            .iter()
+            .map(|(a, groups, d, m)| (a, self.pack_ctr_block(groups), d, m))
+            .collect()
+    }
+
+    /// Diagnostic: prints counter-block leaves whose NVM image hash
+    /// differs from the logical tree's current leaf hash. Development
+    /// tool for recovery debugging; not part of the recovery algorithm.
+    #[doc(hidden)]
+    pub fn debug_leaf_mismatches(&self) {
+        let ctr_blocks = self
+            .nvm
+            .block_addrs_in(self.layout.ctr_base, self.layout.mac_base);
+        let mut bad = 0;
+        for cb in ctr_blocks {
+            let img = self.nvm.read_block(cb);
+            let leaf = self.layout.tree_leaf(cb);
+            let got = self.tree.leaf_hash_of(cb, &img);
+            let want = self.tree.hash_of(thoth_merkle::NodeId { level: 0, index: leaf });
+            if got != want {
+                bad += 1;
+                if bad <= 5 {
+                    let groups = self.layout.ctr_geometry.unpack(&img);
+                    println!(
+                        "leaf {leaf} cb={cb:#x} mismatch; majors={:?} minors[0..8]={:?}",
+                        groups.iter().map(|g| g.major()).collect::<Vec<_>>(),
+                        (0..8)
+                            .map(|i| groups[0].value_of(i).1)
+                            .collect::<Vec<_>>(),
+                    );
+                }
+            }
+        }
+        println!("mismatched leaves: {bad}");
+    }
+
+    /// Merges one PUB entry if it matches the persisted ciphertext.
+    fn merge_entry(&mut self, e: &PartialUpdate) -> bool {
+        let index = u64::from(e.block_index);
+        let addr = self.layout.block_addr(index);
+        let (cb, group, slot) = self.layout.ctr_location(index);
+        let (mb, mslot) = self.layout.mac_location(index);
+        let ct = self.nvm.read_block(addr);
+        let mut groups = self.layout.ctr_geometry.unpack(&self.nvm.read_block(cb));
+        let major = groups[group].major();
+        let first = self.mac.first_level(addr, major, e.minor, &ct);
+        if self.mac.second_level(addr, &first) != e.mac2 {
+            return false; // stale: a newer entry or in-place copy wins
+        }
+        if groups[group].value_of(slot).1 != e.minor {
+            groups[group].set_minor(slot, e.minor);
+            let img = self.pack_ctr_block(&groups);
+            self.nvm.write_block(cb, &img, WriteCategory::Recovery);
+        }
+        let mac_len = self.layout.mac_len();
+        let mut mac_img = self.nvm.read_block(mb);
+        if mac_img[mslot * mac_len..(mslot + 1) * mac_len] != first[..] {
+            mac_img[mslot * mac_len..(mslot + 1) * mac_len].copy_from_slice(&first);
+            self.nvm.write_block(mb, &mac_img, WriteCategory::Recovery);
+        }
+        true
+    }
+}
+
+/// The simulator's implementation of the Thoth engine's host interface:
+/// metadata views come from the secure metadata caches, persists go
+/// through the WPQ, PUB blocks live in the NVM device.
+struct MachineHost<'a> {
+    now: Cycle,
+    layout: &'a MemoryLayout,
+    block_bytes: usize,
+    shadow_tracking: bool,
+    nvm: &'a mut NvmDevice,
+    wpq: &'a mut Wpq,
+    ctr_cache: &'a mut SetAssocCache<Vec<CounterGroup>>,
+    mac_cache: &'a mut SetAssocCache<Vec<u8>>,
+    mac: &'a MacEngine,
+    shadow: &'a mut ShadowTracker,
+    shadow_writes_emitted: &'a mut u64,
+}
+
+impl MachineHost<'_> {
+    fn note_shadow_clean(&mut self, addr: u64) {
+        if self.shadow_tracking && self.shadow.note_clean(addr) {
+            let per_block = (self.block_bytes / 8) as u64;
+            let n = self.shadow.updates();
+            if n.is_multiple_of(per_block) {
+                let saddr = self.layout.shadow_addr(n);
+                self.wpq
+                    .insert(self.now, saddr, None, WriteCategory::Shadow, self.nvm);
+                *self.shadow_writes_emitted += 1;
+            }
+        }
+    }
+}
+
+impl ThothHost for MachineHost<'_> {
+    fn metadata_view(&mut self, kind: MetadataKind, e: &PartialUpdate) -> BlockView {
+        let index = u64::from(e.block_index);
+        match kind {
+            MetadataKind::Counter => {
+                let (cb, group, slot) = self.layout.ctr_location(index);
+                if !self.ctr_cache.contains(cb) {
+                    BlockView::NotPresent
+                } else if !self.ctr_cache.is_dirty(cb) {
+                    BlockView::Clean
+                } else {
+                    let sub = self.layout.ctr_subblock(index) % 64;
+                    let subblock_dirty = self.ctr_cache.dirty_mask(cb) & (1 << sub) != 0;
+                    let value_matches = self
+                        .ctr_cache
+                        .peek(cb)
+                        .is_some_and(|g| g[group].value_of(slot).1 == e.minor);
+                    BlockView::Dirty {
+                        subblock_dirty,
+                        value_matches,
+                    }
+                }
+            }
+            MetadataKind::Mac => {
+                let (mb, mslot) = self.layout.mac_location(index);
+                let mac_len = self.layout.mac_len();
+                if !self.mac_cache.contains(mb) {
+                    BlockView::NotPresent
+                } else if !self.mac_cache.is_dirty(mb) {
+                    BlockView::Clean
+                } else {
+                    let subblock_dirty = self.mac_cache.dirty_mask(mb) & (1 << (mslot % 64)) != 0;
+                    let addr = self.layout.block_addr(index);
+                    let value_matches = self.mac_cache.peek(mb).is_some_and(|img| {
+                        let first = &img[mslot * mac_len..(mslot + 1) * mac_len];
+                        self.mac.second_level(addr, first) == e.mac2
+                    });
+                    BlockView::Dirty {
+                        subblock_dirty,
+                        value_matches,
+                    }
+                }
+            }
+        }
+    }
+
+    fn persist_metadata(&mut self, kind: MetadataKind, e: &PartialUpdate) {
+        let index = u64::from(e.block_index);
+        match kind {
+            MetadataKind::Counter => {
+                let (cb, _, _) = self.layout.ctr_location(index);
+                let image = {
+                    let groups = self.ctr_cache.peek(cb).expect("dirty implies resident");
+                    self.layout.ctr_geometry.pack(groups)
+                };
+                self.wpq
+                    .insert(self.now, cb, Some(image), WriteCategory::CounterBlock, self.nvm);
+                self.ctr_cache.clean(cb);
+                self.note_shadow_clean(cb);
+            }
+            MetadataKind::Mac => {
+                let (mb, _) = self.layout.mac_location(index);
+                let image = self.mac_cache.peek(mb).expect("dirty implies resident").clone();
+                self.wpq
+                    .insert(self.now, mb, Some(image), WriteCategory::MacBlock, self.nvm);
+                self.mac_cache.clean(mb);
+                self.note_shadow_clean(mb);
+            }
+        }
+    }
+
+    fn write_pub_block(&mut self, addr: u64, image: &[u8]) {
+        self.wpq.insert(
+            self.now,
+            addr,
+            Some(image.to_vec()),
+            WriteCategory::PubBlock,
+            self.nvm,
+        );
+    }
+
+    fn read_pub_block(&mut self, addr: u64) -> Vec<u8> {
+        let _ = self.nvm.time_access(self.now, addr, false);
+        self.nvm.read_block(addr)
+    }
+}
+
+/// Statistics snapshot at the warm-up boundary.
+struct Snapshot {
+    wpq: WpqStats,
+    pcb: PcbStats,
+    outcomes: BTreeMap<EvictOutcome, u64>,
+    policy_persists: u64,
+    transactions: u64,
+    ctr_stats: CacheStats,
+    mac_stats: CacheStats,
+    llc_stats: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thoth_workloads::{spec, WorkloadConfig, WorkloadKind};
+
+    fn tiny_trace(kind: WorkloadKind) -> MultiCoreTrace {
+        let mut cfg = WorkloadConfig::paper_default(kind).scaled(0.01);
+        cfg.cores = 2;
+        cfg.footprint = if kind == WorkloadKind::Swap { 32 } else { 2000 };
+        spec::generate(cfg)
+    }
+
+    fn small_config(mode: Mode) -> SimConfig {
+        let mut c = SimConfig::paper_default(mode, 128);
+        c.pub_size_bytes = 64 << 10; // small PUB so eviction paths run
+        c
+    }
+
+    #[test]
+    fn baseline_runs_and_writes_metadata() {
+        let trace = tiny_trace(WorkloadKind::Ctree);
+        let mut m = SecureNvm::new(small_config(Mode::baseline()));
+        let r = m.run(&trace);
+        assert!(r.total_cycles > 0);
+        assert!(r.writes_in(WriteCategory::Data) > 0);
+        assert!(r.writes_in(WriteCategory::CounterBlock) > 0);
+        assert!(r.writes_in(WriteCategory::MacBlock) > 0);
+        assert_eq!(r.writes_in(WriteCategory::PubBlock), 0);
+        assert!(r.transactions > 0);
+    }
+
+    #[test]
+    fn thoth_runs_with_pub_traffic() {
+        let trace = tiny_trace(WorkloadKind::Ctree);
+        let mut m = SecureNvm::new(small_config(Mode::thoth_wtsc()));
+        let r = m.run(&trace);
+        assert!(r.writes_in(WriteCategory::PubBlock) > 0);
+        assert!(r.pcb_inserts > 0);
+        assert!(
+            !r.pub_evictions.is_empty(),
+            "prefilled PUB must evict during the measured phase"
+        );
+    }
+
+    #[test]
+    fn thoth_writes_fewer_blocks_than_baseline() {
+        let trace = tiny_trace(WorkloadKind::Hashmap);
+        let base = SecureNvm::new(small_config(Mode::baseline())).run(&trace);
+        let thoth = SecureNvm::new(small_config(Mode::thoth_wtsc())).run(&trace);
+        assert!(
+            thoth.writes_total() < base.writes_total(),
+            "thoth {} vs baseline {}",
+            thoth.writes_total(),
+            base.writes_total()
+        );
+    }
+
+    #[test]
+    fn anubis_ecc_writes_least() {
+        let trace = tiny_trace(WorkloadKind::Hashmap);
+        let thoth = SecureNvm::new(small_config(Mode::thoth_wtsc())).run(&trace);
+        let ideal = SecureNvm::new(small_config(Mode::AnubisEcc)).run(&trace);
+        assert!(ideal.writes_total() <= thoth.writes_total());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let trace = tiny_trace(WorkloadKind::Btree);
+        let a = SecureNvm::new(small_config(Mode::thoth_wtsc())).run(&trace);
+        let b = SecureNvm::new(small_config(Mode::thoth_wtsc())).run(&trace);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.writes, b.writes);
+        assert_eq!(a.pub_evictions, b.pub_evictions);
+    }
+
+    #[test]
+    fn full_functional_mode_roundtrips_crash_recovery() {
+        let mut cfg = small_config(Mode::thoth_wtsc());
+        cfg.functional = FunctionalMode::Full;
+        let trace = tiny_trace(WorkloadKind::Swap);
+        let mut m = SecureNvm::new(cfg);
+        m.run(&trace);
+        m.crash();
+        let rec = m.recover();
+        assert!(rec.root_verified, "tree root must verify after recovery");
+        assert_eq!(rec.blocks_failed, 0, "all data MACs must verify");
+        assert!(rec.blocks_verified > 0);
+    }
+
+    #[test]
+    fn recovery_detects_ciphertext_tampering() {
+        let mut cfg = small_config(Mode::thoth_wtsc());
+        cfg.functional = FunctionalMode::Full;
+        let trace = tiny_trace(WorkloadKind::Swap);
+        let mut m = SecureNvm::new(cfg);
+        m.run(&trace);
+        m.crash();
+        // Find some written data block and flip one ciphertext bit.
+        let victim = *m.data_versions.keys().next().expect("data written");
+        let addr = m.layout.block_addr(victim);
+        m.nvm_mut().tamper(addr + 5, 0x40);
+        let rec = m.recover();
+        assert!(rec.blocks_failed > 0, "tamper must be detected");
+    }
+
+    #[test]
+    fn baseline_recovery_is_trivially_clean() {
+        let mut cfg = small_config(Mode::baseline());
+        cfg.functional = FunctionalMode::Full;
+        let trace = tiny_trace(WorkloadKind::Swap);
+        let mut m = SecureNvm::new(cfg);
+        m.run(&trace);
+        m.crash();
+        let rec = m.recover();
+        assert!(rec.is_clean());
+        assert_eq!(rec.pub_blocks_scanned, 0);
+    }
+
+    #[test]
+    fn minor_overflow_triggers_eager_persist_and_reencryption() {
+        // Hammer one block until its 7-bit minor overflows: the counter
+        // block must be persisted eagerly and the page re-encrypted.
+        let mut cfg = small_config(Mode::thoth_wtsc());
+        cfg.functional = FunctionalMode::Full;
+        cfg.pub_prefill = false;
+        let mut m = SecureNvm::new(cfg);
+        let addr = 0x8000u64;
+        let mut t = Cycle(0);
+        for _ in 0..130 {
+            t = m.store_block(t, addr) + 100;
+        }
+        m.wpq.drain_all(t, &mut m.nvm);
+        // The overflow forced at least one in-place counter-block persist.
+        assert!(m.nvm.writes_in(WriteCategory::CounterBlock) >= 1);
+        // The *cache* (logical truth) shows the bumped major and the
+        // post-overflow increments; the eagerly persisted in-place copy
+        // holds the state as of the overflow (minors reset to 0).
+        let (cb, group, slot) = m.layout.ctr_location(m.layout.block_index(addr));
+        let (major, minor) = m.ctr_cache.peek(cb).expect("resident")[group].value_of(slot);
+        assert_eq!(major, 1, "one overflow after 130 increments");
+        assert_eq!(u64::from(minor), 130 - 128);
+        let inplace = m.layout.ctr_geometry.unpack(&m.nvm.read_block(cb));
+        assert_eq!(inplace[group].major(), 1, "overflow persisted eagerly");
+        // After a crash the state must still verify.
+        m.crash();
+        assert!(m.recover().is_clean());
+    }
+
+    #[test]
+    fn wpq_forwarding_prevents_stale_metadata_refetch() {
+        // Regression for the counter-regression bug: evict a dirty counter
+        // block into the WPQ, immediately refetch it, and check the cache
+        // sees the written-back (newest) state, not the device's.
+        let mut m = SecureNvm::new(small_config(Mode::thoth_wtsc()));
+        let addr = 0x4000u64;
+        let t = m.store_block(Cycle(0), addr);
+        let index = m.layout.block_index(addr);
+        let (cb, group, slot) = m.layout.ctr_location(index);
+        // Force the dirty line out through the write-back path...
+        let ev = m.ctr_cache.remove(cb).expect("resident");
+        let groups = ev.value.clone();
+        m.writeback_ctr(t, cb, &groups, ev.dirty);
+        // ...and refetch before any drain could complete.
+        m.ensure_ctr(t + 1, cb);
+        let seen = m.ctr_cache.peek(cb).expect("refetched")[group].value_of(slot);
+        assert_eq!(seen, groups[group].value_of(slot), "stale refetch");
+        assert_eq!(seen.1, 1, "the store's increment must be visible");
+    }
+
+    #[test]
+    fn classic_64_byte_blocks_work_end_to_end() {
+        // DDR4-style 64 B granularity: 4 PUB entries per block, classic
+        // 64-minors-per-counter-block split-counter layout.
+        let trace = tiny_trace(WorkloadKind::Ctree);
+        let mut cfg = SimConfig::paper_default(Mode::thoth_wtsc(), 64);
+        cfg.pub_size_bytes = 64 << 10;
+        let r = SecureNvm::new(cfg).run(&trace);
+        assert!(r.writes_in(WriteCategory::PubBlock) > 0);
+        let mut base_cfg = SimConfig::paper_default(Mode::baseline(), 64);
+        base_cfg.pub_size_bytes = 64 << 10;
+        let base = SecureNvm::new(base_cfg).run(&trace);
+        assert!(r.writes_total() <= base.writes_total());
+    }
+
+    #[test]
+    fn shadow_writes_are_packed() {
+        // Shadow updates pack block/8 entries per block: shadow-category
+        // writes must be far fewer than metadata dirty transitions.
+        let trace = tiny_trace(WorkloadKind::Hashmap);
+        let mut m = SecureNvm::new(small_config(Mode::thoth_wtsc()));
+        let r = m.run(&trace);
+        let shadow = r.writes_in(WriteCategory::Shadow);
+        assert!(shadow * 8 <= m.shadow.updates() + 8, "packing violated");
+    }
+
+    #[test]
+    fn blocks_spanned_computes_correctly() {
+        let m = SecureNvm::new(small_config(Mode::baseline()));
+        assert_eq!(m.blocks_spanned(0, 1), vec![0]);
+        assert_eq!(m.blocks_spanned(0, 128), vec![0]);
+        assert_eq!(m.blocks_spanned(0, 129), vec![0, 128]);
+        assert_eq!(m.blocks_spanned(100, 56), vec![0, 128]);
+        assert_eq!(m.blocks_spanned(130, 8), vec![128]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Random Array Swap — the paper's in-house benchmark.
+//!
+//! Two contiguous persistent arrays; every transaction picks one random
+//! slot in each and swaps their contents, with the swapped segment length
+//! equal to the transaction size (Section V-A: *"we implement our
+//! in-house benchmark with similar functionality by setting the swapped
+//! array length to the transaction size"*).
+//!
+//! Because the arrays are small and contiguous, the benchmark "touches
+//! few memory locations and induces relatively few secure metadata writes"
+//! (Section V-B) — it is the paper's outlier that gains no speedup from
+//! Thoth, so reproducing its behaviour faithfully matters.
+
+use crate::runtime::TxRuntime;
+use thoth_sim_engine::DetRng;
+
+/// The two persistent arrays of the swap benchmark.
+#[derive(Debug)]
+pub struct SwapArrays {
+    a_base: u64,
+    b_base: u64,
+    slots: u64,
+    slot_size: usize,
+}
+
+impl SwapArrays {
+    /// Allocates and zero-initializes two arrays of `slots` elements of
+    /// `slot_size` bytes each, inside an open transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `slot_size` is zero.
+    pub fn create(rt: &mut TxRuntime, slots: u64, slot_size: usize) -> Self {
+        assert!(slots > 0 && slot_size > 0);
+        let bytes = slots * slot_size as u64;
+        let a_base = rt.alloc(bytes);
+        let b_base = rt.alloc(bytes); // contiguous with A (bump allocator)
+        // Initialize with distinguishable contents.
+        for s in 0..slots {
+            let av: Vec<u8> = (0..slot_size).map(|i| (s as u8) ^ (i as u8)).collect();
+            let bv: Vec<u8> = (0..slot_size)
+                .map(|i| (s as u8).wrapping_add(128) ^ (i as u8))
+                .collect();
+            rt.write_new(a_base + s * slot_size as u64, &av);
+            rt.write_new(b_base + s * slot_size as u64, &bv);
+        }
+        SwapArrays {
+            a_base,
+            b_base,
+            slots,
+            slot_size,
+        }
+    }
+
+    /// Number of slots per array.
+    #[must_use]
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Swaps slot `i` of array A with slot `j` of array B. The swap is
+    /// written directly (no undo log): the in-house microbenchmark keeps
+    /// both old values trivially recomputable (a swap is its own inverse),
+    /// so a commit record alone suffices for atomicity — this is what
+    /// keeps its persistent-store stream minimal, matching the paper's
+    /// observation that swap "induces relatively few secure metadata
+    /// writes". Must run inside a transaction.
+    pub fn swap(&self, rt: &mut TxRuntime, i: u64, j: u64) {
+        assert!(i < self.slots && j < self.slots, "slot out of range");
+        let pa = self.a_base + i * self.slot_size as u64;
+        let pb = self.b_base + j * self.slot_size as u64;
+        let va = rt.read(pa, self.slot_size);
+        let vb = rt.read(pb, self.slot_size);
+        rt.write_new(pa, &vb);
+        rt.write_new(pb, &va);
+    }
+
+    /// Reads slot `i` of array A (verification helper).
+    pub fn read_a(&self, rt: &mut TxRuntime, i: u64) -> Vec<u8> {
+        rt.read(self.a_base + i * self.slot_size as u64, self.slot_size)
+    }
+
+    /// Reads slot `j` of array B (verification helper).
+    pub fn read_b(&self, rt: &mut TxRuntime, j: u64) -> Vec<u8> {
+        rt.read(self.b_base + j * self.slot_size as u64, self.slot_size)
+    }
+}
+
+/// Runs the swap workload: the arrays are created untraced, then `txs`
+/// traced transactions each swap one `tx_size`-byte segment between the
+/// arrays. `slots` bounds the footprint (the paper's point is that it is
+/// small).
+pub fn run(rt: &mut TxRuntime, rng: &mut DetRng, txs: usize, tx_size: usize, slots: u64) {
+    rt.set_tracing(false);
+    rt.begin();
+    let arrays = SwapArrays::create(rt, slots, tx_size);
+    rt.commit();
+    rt.set_tracing(true);
+    for _ in 0..txs {
+        let i = rng.gen_range(slots);
+        let j = rng.gen_range(slots);
+        rt.begin();
+        arrays.swap(rt, i, j);
+        rt.commit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let mut rt = TxRuntime::new(0x500_0000);
+        rt.begin();
+        let arrays = SwapArrays::create(&mut rt, 8, 16);
+        rt.commit();
+        let a0 = arrays.read_a(&mut rt, 0);
+        let b3 = arrays.read_b(&mut rt, 3);
+        rt.begin();
+        arrays.swap(&mut rt, 0, 3);
+        rt.commit();
+        assert_eq!(arrays.read_a(&mut rt, 0), b3);
+        assert_eq!(arrays.read_b(&mut rt, 3), a0);
+    }
+
+    #[test]
+    fn double_swap_restores() {
+        let mut rt = TxRuntime::new(0);
+        rt.begin();
+        let arrays = SwapArrays::create(&mut rt, 4, 32);
+        rt.commit();
+        let a1 = arrays.read_a(&mut rt, 1);
+        let b2 = arrays.read_b(&mut rt, 2);
+        rt.begin();
+        arrays.swap(&mut rt, 1, 2);
+        rt.commit();
+        rt.begin();
+        arrays.swap(&mut rt, 1, 2);
+        rt.commit();
+        assert_eq!(arrays.read_a(&mut rt, 1), a1);
+        assert_eq!(arrays.read_b(&mut rt, 2), b2);
+    }
+
+    #[test]
+    fn footprint_is_bounded() {
+        let mut rt = TxRuntime::new(0);
+        let mut rng = DetRng::seed_from(9);
+        run(&mut rt, &mut rng, 100, 128, 16);
+        // Heap: 1 MB log + 2 arrays of 16*128 B. No growth from swapping.
+        let expected_data = 2 * 16 * 128;
+        assert!(rt.heap().allocated() <= (1 << 20) + expected_data + 4096);
+    }
+
+    #[test]
+    fn swap_is_log_free() {
+        let mut rt = TxRuntime::new(0);
+        rt.begin();
+        let arrays = SwapArrays::create(&mut rt, 4, 64);
+        rt.commit();
+        rt.begin();
+        arrays.swap(&mut rt, 0, 1);
+        rt.commit();
+        assert_eq!(rt.stats().log_appends, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let mut rt = TxRuntime::new(0);
+        rt.begin();
+        let arrays = SwapArrays::create(&mut rt, 2, 8);
+        arrays.swap(&mut rt, 0, 5);
+    }
+}
