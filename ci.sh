@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, and lint — fully offline (the workspace has
+# zero external dependencies; see DESIGN.md §5 and the committed
+# Cargo.lock). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release --locked
+
+echo "== tests =="
+cargo test -q --locked
+
+echo "== clippy (deny warnings) =="
+cargo clippy --all-targets --locked -- -D warnings
+
+echo "ci: all green"

@@ -2,7 +2,7 @@
 //! PCB arrangement, eADR, operation mixes) and measuring the simulator
 //! at the extreme knob settings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use thoth_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -2,7 +2,7 @@
 //! and **Tables II & III**, measuring the simulator across transaction
 //! sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use thoth_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 

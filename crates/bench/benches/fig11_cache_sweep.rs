@@ -2,7 +2,7 @@
 //! cache size) and measuring the simulator at the smallest and largest
 //! cache points.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use thoth_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 

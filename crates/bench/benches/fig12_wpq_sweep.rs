@@ -1,7 +1,7 @@
 //! Bench target regenerating **Figure 12** (speedup vs WPQ size) and
 //! measuring the simulator under a shrunken WPQ.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use thoth_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -4,7 +4,7 @@
 //! The figure's rows are printed once at startup; the measured kernel is
 //! the hypothetical-FIFO replay over a workload's metadata-update stream.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use thoth_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -2,7 +2,7 @@
 //! (normalized writes) and the **§V-F** Anubis comparison, and measuring
 //! the full-system simulator on the headline configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use thoth_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 

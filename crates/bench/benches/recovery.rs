@@ -1,7 +1,7 @@
 //! Bench target regenerating the **Section IV-D** recovery tables and
 //! measuring crash + recovery in full functional mode.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use thoth_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -1,8 +1,9 @@
-//! Property tests: the set-associative cache against a reference model.
+//! Property tests: the set-associative cache against a reference model
+//! (deterministic thoth-testkit cases).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use thoth_cache::{CacheConfig, SetAssocCache};
+use thoth_testkit::{check, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,25 +14,24 @@ enum Op {
     Remove(u64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let addr = (0u64..32).prop_map(|a| a * 64);
-    prop_oneof![
-        addr.clone().prop_map(Op::Lookup),
-        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::Insert(a, v)),
-        (addr.clone(), 0usize..64).prop_map(|(a, s)| Op::MarkDirty(a, s)),
-        addr.clone().prop_map(Op::Clean),
-        addr.prop_map(Op::Remove),
-    ]
+fn arb_op(g: &mut Gen) -> Op {
+    let addr = g.below(32) * 64;
+    match g.below(5) {
+        0 => Op::Lookup(addr),
+        1 => Op::Insert(addr, g.u64() as u32),
+        2 => Op::MarkDirty(addr, g.range_usize(0, 64)),
+        3 => Op::Clean(addr),
+        _ => Op::Remove(addr),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Whatever the op sequence, a resident block's payload equals the
-    /// last value inserted for it, capacity bounds hold, and dirty state
-    /// follows mark/clean/insert semantics.
-    #[test]
-    fn cache_matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..300)) {
+/// Whatever the op sequence, a resident block's payload equals the
+/// last value inserted for it, capacity bounds hold, and dirty state
+/// follows mark/clean/insert semantics.
+#[test]
+fn cache_matches_reference_model() {
+    check(128, |g| {
+        let ops = g.vec_of(0, 300, arb_op);
         let cfg = CacheConfig::new(512, 2, 64); // 4 sets x 2 ways
         let mut cache: SetAssocCache<u32> = SetAssocCache::new(cfg);
         // Reference: value and dirtiness of the last state per address
@@ -41,7 +41,7 @@ proptest! {
             match op {
                 Op::Lookup(a) => {
                     if let Some(&v) = cache.lookup(a) {
-                        prop_assert_eq!(v, model[&a].0, "payload mismatch");
+                        assert_eq!(v, model[&a].0, "payload mismatch");
                     }
                 }
                 Op::Insert(a, v) => {
@@ -51,7 +51,7 @@ proptest! {
                 Op::MarkDirty(a, s) => {
                     let was = cache.contains(a);
                     let ok = cache.mark_dirty(a, Some(s));
-                    prop_assert_eq!(ok, was);
+                    assert_eq!(ok, was);
                     if let Some(e) = model.get_mut(&a) {
                         if was {
                             e.1 = true;
@@ -72,33 +72,36 @@ proptest! {
                 }
             }
             // Invariants after every op:
-            prop_assert!(cache.len() <= cfg.num_lines());
+            assert!(cache.len() <= cfg.num_lines());
             for (addr, v, dirty, mask) in cache.iter() {
                 let (mv, mdirty, mmask) = model[&addr];
-                prop_assert_eq!(*v, mv);
-                prop_assert_eq!(dirty, mdirty);
-                prop_assert_eq!(mask, mmask);
-                prop_assert_eq!(dirty, mask != 0 || dirty && mask == 0);
+                assert_eq!(*v, mv);
+                assert_eq!(dirty, mdirty);
+                assert_eq!(mask, mmask);
+                assert_eq!(dirty, mask != 0 || dirty && mask == 0);
             }
         }
-    }
+    });
+}
 
-    /// Evictions only happen when a set is full, and always evict from
-    /// the same set as the incoming block.
-    #[test]
-    fn evictions_stay_within_the_set(addrs in proptest::collection::vec(0u64..64, 1..200)) {
+/// Evictions only happen when a set is full, and always evict from
+/// the same set as the incoming block.
+#[test]
+fn evictions_stay_within_the_set() {
+    check(128, |g| {
+        let addrs = g.vec_of(1, 200, |g| g.below(64));
         let cfg = CacheConfig::new(512, 2, 64); // 4 sets
         let sets = cfg.num_sets() as u64;
         let mut cache: SetAssocCache<()> = SetAssocCache::new(cfg);
         for a in addrs {
             let addr = a * 64;
             if let Some(ev) = cache.insert(addr, ()) {
-                prop_assert_eq!(
+                assert_eq!(
                     (ev.addr / 64) % sets,
                     (addr / 64) % sets,
                     "evicted from a different set"
                 );
             }
         }
-    }
+    });
 }

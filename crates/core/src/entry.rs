@@ -118,6 +118,18 @@ impl PubBlockCodec {
     /// Panics if `updates` is empty or longer than the block capacity.
     #[must_use]
     pub fn encode(&self, updates: &[PartialUpdate]) -> Vec<u8> {
+        let mut out = vec![0u8; self.block_bytes];
+        self.encode_into(updates, &mut out);
+        out
+    }
+
+    /// [`Self::encode`] into a caller-provided buffer (cleared first) —
+    /// lets hot loops reuse one allocation across blocks.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::encode`], plus if `out` is shorter than one block.
+    pub fn encode_into(&self, updates: &[PartialUpdate], out: &mut [u8]) {
         let cap = self.entries_per_block();
         assert!(!updates.is_empty(), "cannot encode an empty PUB block");
         assert!(
@@ -125,17 +137,17 @@ impl PubBlockCodec {
             "{} updates exceed block capacity {cap}",
             updates.len()
         );
-        let mut out = vec![0u8; self.block_bytes];
+        assert!(out.len() >= self.block_bytes, "output buffer too small");
+        out[..self.block_bytes].fill(0);
         let last = *updates.last().expect("non-empty");
         for slot in 0..cap {
             let u = updates.get(slot).copied().unwrap_or(last);
             let bit = slot * ENTRY_BITS;
-            write_bits(&mut out, bit, u64::from(u.block_index), 32);
-            write_bits(&mut out, bit + 32, u.mac2, 64);
-            write_bits(&mut out, bit + 96, u64::from(u.minor & 0x7f), 7);
-            write_bits(&mut out, bit + 103, u64::from(u.status_bits()), 2);
+            write_bits(out, bit, u64::from(u.block_index), 32);
+            write_bits(out, bit + 32, u.mac2, 64);
+            write_bits(out, bit + 96, u64::from(u.minor & 0x7f), 7);
+            write_bits(out, bit + 103, u64::from(u.status_bits()), 2);
         }
-        out
     }
 
     /// Decodes a block image into its entries. Trailing duplicates created
@@ -171,22 +183,45 @@ impl PubBlockCodec {
     }
 }
 
+/// Writes `value`'s low `nbits` bits at bit offset `bitpos`, LSB-first
+/// within the stream. Proceeds a byte at a time rather than a bit at a
+/// time — PUB encode/decode is on the simulator's hot path (every PUB
+/// append and eviction runs it over the whole block).
 fn write_bits(buf: &mut [u8], bitpos: usize, value: u64, nbits: usize) {
-    for i in 0..nbits {
-        let pos = bitpos + i;
-        if (value >> i) & 1 != 0 {
-            buf[pos / 8] |= 1 << (pos % 8);
-        }
+    debug_assert!(nbits <= 64);
+    let mut val = if nbits == 64 {
+        value
+    } else {
+        value & ((1u64 << nbits) - 1)
+    };
+    let mut byte = bitpos / 8;
+    let mut shift = bitpos % 8;
+    let mut remaining = nbits;
+    while remaining > 0 {
+        let take = (8 - shift).min(remaining);
+        buf[byte] |= ((val & ((1u64 << take) - 1)) << shift) as u8;
+        val >>= take;
+        remaining -= take;
+        byte += 1;
+        shift = 0;
     }
 }
 
+/// Reads `nbits` bits at bit offset `bitpos`, LSB-first (inverse of
+/// [`write_bits`]).
 fn read_bits(buf: &[u8], bitpos: usize, nbits: usize) -> u64 {
+    debug_assert!(nbits <= 64);
     let mut v = 0u64;
-    for i in 0..nbits {
-        let pos = bitpos + i;
-        if buf[pos / 8] & (1 << (pos % 8)) != 0 {
-            v |= 1 << i;
-        }
+    let mut got = 0;
+    let mut byte = bitpos / 8;
+    let mut shift = bitpos % 8;
+    while got < nbits {
+        let take = (8 - shift).min(nbits - got);
+        let bits = (u64::from(buf[byte] >> shift)) & ((1u64 << take) - 1);
+        v |= bits << got;
+        got += take;
+        byte += 1;
+        shift = 0;
     }
     v
 }

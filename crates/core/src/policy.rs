@@ -20,12 +20,11 @@
 //! says what the eviction really was (written-back / already-evicted /
 //! clean copy / stale copy); the policy says what the hardware would do.
 
-use serde::{Deserialize, Serialize};
 
 /// Which metadata block a partial update targets. Each PUB entry carries
 /// both a counter part and a MAC part; they are decided independently
 /// because the counter block and the MAC block are different blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetadataKind {
     /// The split-counter block.
     Counter,
@@ -57,7 +56,7 @@ pub enum BlockView {
 }
 
 /// Ground-truth classification of a PUB eviction (the Figure 3 breakdown).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EvictOutcome {
     /// The metadata block still needed to be persisted.
     WrittenBack,
@@ -110,7 +109,7 @@ impl EvictOutcome {
 }
 
 /// The eviction-filtering policy in force.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EvictionPolicy {
     /// Write-Back Through Status Checks — the paper's default.
     Wtsc,

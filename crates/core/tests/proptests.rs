@@ -1,29 +1,27 @@
 //! Property tests for Thoth's core structures: PUB FIFO order, PCB
-//! uniqueness/merging, and codec round-trips at both block sizes.
+//! uniqueness/merging, and codec round-trips at both block sizes
+//! (deterministic thoth-testkit cases).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use thoth_core::{PartialUpdate, Pcb, PcbInsert, PubBlockCodec, PubBuffer, PubConfig};
+use thoth_testkit::{check, Gen};
 
-fn arb_update(blocks: u32) -> impl Strategy<Value = PartialUpdate> {
-    (0..blocks, 0u8..128, any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
-        |(block_index, minor, mac2, ctr_status, mac_status)| PartialUpdate {
-            block_index,
-            minor,
-            mac2,
-            ctr_status,
-            mac_status,
-        },
-    )
+fn arb_update(g: &mut Gen, blocks: u32) -> PartialUpdate {
+    PartialUpdate {
+        block_index: g.below(u64::from(blocks)) as u32,
+        minor: g.below(128) as u8,
+        mac2: g.u64(),
+        ctr_status: g.bool(),
+        mac_status: g.bool(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The PUB pops addresses in exactly allocation order (FIFO), across
-    /// arbitrary interleavings of allocate and pop.
-    #[test]
-    fn pub_buffer_is_fifo(ops in proptest::collection::vec(any::<bool>(), 1..300)) {
+/// The PUB pops addresses in exactly allocation order (FIFO), across
+/// arbitrary interleavings of allocate and pop.
+#[test]
+fn pub_buffer_is_fifo() {
+    check(96, |g| {
+        let ops = g.vec_of(1, 300, Gen::bool);
         let mut pb = PubBuffer::new(PubConfig {
             base_addr: 0x1000,
             size_bytes: 16 * 128,
@@ -37,18 +35,24 @@ proptest! {
                     queue.push_back(pb.allocate_tail());
                 }
             } else {
-                prop_assert_eq!(pb.pop_oldest(), queue.pop_front());
+                assert_eq!(pb.pop_oldest(), queue.pop_front());
             }
-            prop_assert_eq!(pb.len_blocks() as usize, queue.len());
-            prop_assert_eq!(pb.scan_oldest_to_youngest(), queue.iter().copied().collect::<Vec<_>>());
+            assert_eq!(pb.len_blocks() as usize, queue.len());
+            assert_eq!(
+                pb.scan_oldest_to_youngest(),
+                queue.iter().copied().collect::<Vec<_>>()
+            );
         }
-    }
+    });
+}
 
-    /// The PCB never holds two entries for the same data block, and the
-    /// values that eventually leave it are the newest per block with
-    /// status bits accumulated.
-    #[test]
-    fn pcb_deduplicates_and_keeps_newest(updates in proptest::collection::vec(arb_update(12), 1..300)) {
+/// The PCB never holds two entries for the same data block, and the
+/// values that eventually leave it are the newest per block with
+/// status bits accumulated.
+#[test]
+fn pcb_deduplicates_and_keeps_newest() {
+    check(96, |g| {
+        let updates = g.vec_of(1, 300, |g| arb_update(g, 12));
         let mut pcb = Pcb::new(4, 9);
         let mut newest: HashMap<u32, (u8, u64)> = HashMap::new();
         let mut status_or: HashMap<u32, (bool, bool)> = HashMap::new();
@@ -78,14 +82,17 @@ proptest! {
         }
         for (bi, e) in last_seen {
             let (minor, mac2) = newest[&bi];
-            prop_assert_eq!(e.minor, minor, "block {}", bi);
-            prop_assert_eq!(e.mac2, mac2, "block {}", bi);
+            assert_eq!(e.minor, minor, "block {bi}");
+            assert_eq!(e.mac2, mac2, "block {bi}");
         }
-    }
+    });
+}
 
-    /// Codec round-trip for random entry counts at both paper block sizes.
-    #[test]
-    fn codec_roundtrips(updates in proptest::collection::vec(arb_update(u32::MAX), 1..19)) {
+/// Codec round-trip for random entry counts at both paper block sizes.
+#[test]
+fn codec_roundtrips() {
+    check(96, |g| {
+        let updates = g.vec_of(1, 19, |g| arb_update(g, u32::MAX));
         for block_bytes in [128usize, 256] {
             let codec = PubBlockCodec::new(block_bytes);
             let take = updates.len().min(codec.entries_per_block());
@@ -93,7 +100,7 @@ proptest! {
             let mut expect = slice.to_vec();
             expect.dedup();
             let decoded = codec.decode(&codec.encode(slice));
-            prop_assert_eq!(&decoded[..expect.len().min(decoded.len())], &expect[..]);
+            assert_eq!(&decoded[..expect.len().min(decoded.len())], &expect[..]);
         }
-    }
+    });
 }

@@ -1,11 +1,16 @@
 //! AES-128 block cipher (FIPS-197), implemented from scratch.
 //!
-//! This is a straightforward, table-free implementation: S-box lookups plus
-//! explicit `MixColumns` arithmetic over GF(2^8). It is not meant to be a
-//! high-performance or constant-time production cipher — it exists so that
-//! the simulator's *functional* state (ciphertexts, one-time pads) is real
-//! AES, making recovery and tamper-detection tests meaningful. The *timing*
-//! model charges the paper's fixed 40-cycle AES latency regardless.
+//! The encrypt path uses the classic four-T-table formulation (each round
+//! is 16 table lookups + XORs over four 256-entry u32 tables, all built at
+//! compile time from the S-box), because CTR-mode pad generation sits on
+//! the simulator's hottest path. The original byte-wise implementation —
+//! S-box lookups plus explicit `MixColumns` arithmetic over GF(2^8) — is
+//! kept as [`Aes128::encrypt_block_bytewise`] and serves as the
+//! differential-testing oracle for the table path. Neither is meant to be
+//! a constant-time production cipher — they exist so the simulator's
+//! *functional* state (ciphertexts, one-time pads) is real AES, making
+//! recovery and tamper-detection tests meaningful. The *timing* model
+//! charges the paper's fixed 40-cycle AES latency regardless.
 
 /// The AES S-box.
 const SBOX: [u8; 256] = [
@@ -27,22 +32,54 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-/// The inverse AES S-box, derived from [`SBOX`] at first use.
-fn inv_sbox() -> &'static [u8; 256] {
-    use std::sync::OnceLock;
-    static INV: OnceLock<[u8; 256]> = OnceLock::new();
-    INV.get_or_init(|| {
-        let mut inv = [0u8; 256];
-        for (i, &s) in SBOX.iter().enumerate() {
-            inv[s as usize] = i as u8;
-        }
-        inv
-    })
-}
+/// The inverse AES S-box, derived from [`SBOX`] at compile time.
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Key-schedule round constants `x^(i-1)` in GF(2^8), at compile time.
+const RCON: [u8; 10] = {
+    let mut rcon = [0u8; 10];
+    let mut v: u8 = 1;
+    let mut i = 0;
+    while i < 10 {
+        rcon[i] = v;
+        v = xtime(v);
+        i += 1;
+    }
+    rcon
+};
+
+/// The four encryption T-tables: `TE[0][x]` packs the `MixColumns` image
+/// of `SubBytes(x)` as a big-endian column `({02}s, s, s, {03}s)`; the
+/// other three are byte rotations of it, so one round of
+/// SubBytes+ShiftRows+MixColumns collapses to four lookups per column.
+const TE: [[u32; 256]; 4] = {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i] as u32;
+        let s2 = xtime(SBOX[i]) as u32;
+        let s3 = s2 ^ s;
+        let w = (s2 << 24) | (s << 16) | (s << 8) | s3;
+        t[0][i] = w;
+        t[1][i] = w.rotate_right(8);
+        t[2][i] = w.rotate_right(16);
+        t[3][i] = w.rotate_right(24);
+        i += 1;
+    }
+    t
+};
 
 /// Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial.
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
 }
 
@@ -76,6 +113,8 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+    /// The same schedule as big-endian column words, for the T-table path.
+    rk_words: [u32; 44],
 }
 
 impl Aes128 {
@@ -86,7 +125,6 @@ impl Aes128 {
         for i in 0..4 {
             w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
         }
-        let mut rcon: u8 = 1;
         for i in 4..44 {
             let mut t = w[i - 1];
             if i % 4 == 0 {
@@ -94,8 +132,7 @@ impl Aes128 {
                 for b in &mut t {
                     *b = SBOX[*b as usize];
                 }
-                t[0] ^= rcon;
-                rcon = xtime(rcon);
+                t[0] ^= RCON[i / 4 - 1];
             }
             for j in 0..4 {
                 w[i][j] = w[i - 4][j] ^ t[j];
@@ -107,12 +144,56 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        let mut rk_words = [0u32; 44];
+        for (i, col) in w.iter().enumerate() {
+            rk_words[i] = u32::from_be_bytes(*col);
+        }
+        Aes128 { round_keys, rk_words }
     }
 
-    /// Encrypts one 16-byte block.
+    /// Encrypts one 16-byte block (T-table fast path; bit-identical to
+    /// [`Self::encrypt_block_bytewise`], which the property tests enforce).
     #[must_use]
     pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let rk = &self.rk_words;
+        let mut w = [0u32; 4];
+        for (c, word) in w.iter_mut().enumerate() {
+            *word = u32::from_be_bytes([
+                plaintext[4 * c],
+                plaintext[4 * c + 1],
+                plaintext[4 * c + 2],
+                plaintext[4 * c + 3],
+            ]) ^ rk[c];
+        }
+        for round in 1..10 {
+            let mut n = [0u32; 4];
+            for (c, word) in n.iter_mut().enumerate() {
+                *word = TE[0][(w[c] >> 24) as usize]
+                    ^ TE[1][((w[(c + 1) & 3] >> 16) & 0xff) as usize]
+                    ^ TE[2][((w[(c + 2) & 3] >> 8) & 0xff) as usize]
+                    ^ TE[3][(w[(c + 3) & 3] & 0xff) as usize]
+                    ^ rk[4 * round + c];
+            }
+            w = n;
+        }
+        // Final round: SubBytes + ShiftRows only, no MixColumns.
+        let mut out = [0u8; 16];
+        for c in 0..4 {
+            let x = (u32::from(SBOX[(w[c] >> 24) as usize]) << 24)
+                | (u32::from(SBOX[((w[(c + 1) & 3] >> 16) & 0xff) as usize]) << 16)
+                | (u32::from(SBOX[((w[(c + 2) & 3] >> 8) & 0xff) as usize]) << 8)
+                | u32::from(SBOX[(w[(c + 3) & 3] & 0xff) as usize]);
+            out[4 * c..4 * c + 4].copy_from_slice(&(x ^ rk[40 + c]).to_be_bytes());
+        }
+        out
+    }
+
+    /// Encrypts one block with the original byte-wise FIPS-197 round
+    /// functions. Retained as the differential-testing oracle for the
+    /// T-table path (`ttable_encrypt_matches_bytewise_oracle`); not used
+    /// on any hot path.
+    #[must_use]
+    pub fn encrypt_block_bytewise(&self, plaintext: &[u8; 16]) -> [u8; 16] {
         let mut s = *plaintext;
         add_round_key(&mut s, &self.round_keys[0]);
         for round in 1..10 {
@@ -167,9 +248,8 @@ fn sub_bytes(s: &mut [u8; 16]) {
 }
 
 fn inv_sub_bytes(s: &mut [u8; 16]) {
-    let inv = inv_sbox();
     for b in s.iter_mut() {
-        *b = inv[*b as usize];
+        *b = INV_SBOX[*b as usize];
     }
 }
 
@@ -253,6 +333,45 @@ mod tests {
         let aes = Aes128::new(&key);
         assert_eq!(aes.encrypt_block(&pt), expected);
         assert_eq!(aes.decrypt_block(&expected), pt);
+    }
+
+    #[test]
+    fn ttable_matches_bytewise_on_fixed_corpus() {
+        let mut x: u64 = 0xfeed_f00d_1234_5678;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..64 {
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&next().to_le_bytes());
+            key[8..].copy_from_slice(&next().to_le_bytes());
+            let aes = Aes128::new(&key);
+            for _ in 0..16 {
+                let mut pt = [0u8; 16];
+                pt[..8].copy_from_slice(&next().to_le_bytes());
+                pt[8..].copy_from_slice(&next().to_le_bytes());
+                assert_eq!(aes.encrypt_block(&pt), aes.encrypt_block_bytewise(&pt));
+            }
+        }
+    }
+
+    #[test]
+    fn te_tables_are_rotations_of_te0() {
+        for i in 0..256 {
+            assert_eq!(TE[1][i], TE[0][i].rotate_right(8));
+            assert_eq!(TE[2][i], TE[0][i].rotate_right(16));
+            assert_eq!(TE[3][i], TE[0][i].rotate_right(24));
+        }
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        for i in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub use aes::Aes128;
 pub use counter::{CounterBlock, CounterGroup, MINOR_COUNTER_BITS, MINOR_COUNTER_MAX};
 pub use ctr::{BlockCipherPad, CtrMode};
 pub use mac::{MacEngine, MacKey};
-pub use siphash::SipHash24;
+pub use siphash::{SipHash24, SipWordStream};

@@ -84,12 +84,13 @@ impl MacEngine {
         );
         let mut out = Vec::with_capacity(Self::first_level_len(ciphertext.len()));
         for (i, chunk) in ciphertext.chunks_exact(64).enumerate() {
-            let mut msg = Vec::with_capacity(64 + 8 * 3);
-            msg.extend_from_slice(chunk);
-            msg.extend_from_slice(&addr.to_le_bytes());
-            msg.extend_from_slice(&major.to_le_bytes());
-            msg.extend_from_slice(&[minor, i as u8]);
-            out.extend_from_slice(&self.sip.hash(&msg).to_le_bytes());
+            let tag = self.sip.hash_parts(&[
+                chunk,
+                &addr.to_le_bytes(),
+                &major.to_le_bytes(),
+                &[minor, i as u8],
+            ]);
+            out.extend_from_slice(&tag.to_le_bytes());
         }
         out
     }
@@ -98,10 +99,7 @@ impl MacEngine {
     /// the address. This is the value a Thoth partial-update entry carries.
     #[must_use]
     pub fn second_level(&self, addr: u64, first_level: &[u8]) -> u64 {
-        let mut msg = Vec::with_capacity(first_level.len() + 8);
-        msg.extend_from_slice(first_level);
-        msg.extend_from_slice(&addr.to_le_bytes());
-        self.sip.hash(&msg)
+        self.sip.hash_parts(&[first_level, &addr.to_le_bytes()])
     }
 
     /// Convenience: both levels at once, returning

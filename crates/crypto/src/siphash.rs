@@ -62,19 +62,10 @@ impl SipHash24 {
     /// Hashes an arbitrary byte message to a 64-bit tag.
     #[must_use]
     pub fn hash(&self, msg: &[u8]) -> u64 {
-        let mut v = [
-            self.k0 ^ 0x736f6d6570736575,
-            self.k1 ^ 0x646f72616e646f6d,
-            self.k0 ^ 0x6c7967656e657261,
-            self.k1 ^ 0x7465646279746573,
-        ];
+        let mut v = self.init_state();
         let mut chunks = msg.chunks_exact(8);
         for chunk in &mut chunks {
-            let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
-            v[3] ^= m;
-            sipround(&mut v);
-            sipround(&mut v);
-            v[0] ^= m;
+            compress(&mut v, u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
         }
         // Final block: remaining bytes plus the length in the top byte.
         let rem = chunks.remainder();
@@ -82,6 +73,84 @@ impl SipHash24 {
         for (i, &b) in rem.iter().enumerate() {
             last |= (b as u64) << (8 * i);
         }
+        Self::finalize(v, last)
+    }
+
+    /// Hashes a multi-part message exactly as if the parts were
+    /// concatenated — `hash_parts(&[a, b]) == hash(a ++ b)` — without
+    /// materializing the concatenation. This is the allocation-free path
+    /// for MAC inputs assembled from a payload plus address/counter
+    /// framing.
+    #[must_use]
+    pub fn hash_parts(&self, parts: &[&[u8]]) -> u64 {
+        let mut v = self.init_state();
+        let mut buf = [0u8; 8];
+        let mut buffered = 0usize;
+        let mut total = 0u64;
+        for part in parts {
+            let mut p = *part;
+            total += p.len() as u64;
+            if buffered > 0 {
+                let take = p.len().min(8 - buffered);
+                buf[buffered..buffered + take].copy_from_slice(&p[..take]);
+                buffered += take;
+                p = &p[take..];
+                if buffered < 8 {
+                    continue; // `p` is exhausted; keep accumulating.
+                }
+                compress(&mut v, u64::from_le_bytes(buf));
+                // `buffered` is reset by the remainder handling below.
+            }
+            let mut chunks = p.chunks_exact(8);
+            for chunk in &mut chunks {
+                compress(&mut v, u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            }
+            let rem = chunks.remainder();
+            buf[..rem.len()].copy_from_slice(rem);
+            buffered = rem.len();
+        }
+        let mut last = (total & 0xff) << 56;
+        for (i, &b) in buf[..buffered].iter().enumerate() {
+            last |= (b as u64) << (8 * i);
+        }
+        Self::finalize(v, last)
+    }
+
+    /// Hashes a sequence of 64-bit words (convenience for address/counter
+    /// tuples that dominate MAC inputs in the simulator). Equivalent to
+    /// hashing the little-endian byte encoding of the words.
+    #[must_use]
+    pub fn hash_words(&self, words: &[u64]) -> u64 {
+        let mut s = self.words();
+        for &w in words {
+            s.push(w);
+        }
+        s.finish()
+    }
+
+    /// Starts an incremental word-at-a-time hash. [`SipWordStream::finish`]
+    /// yields the same tag [`Self::hash_words`] would for the pushed
+    /// sequence, with no intermediate buffer.
+    #[must_use]
+    pub fn words(&self) -> SipWordStream {
+        SipWordStream {
+            v: self.init_state(),
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn init_state(&self) -> [u64; 4] {
+        [
+            self.k0 ^ 0x736f6d6570736575,
+            self.k1 ^ 0x646f72616e646f6d,
+            self.k0 ^ 0x6c7967656e657261,
+            self.k1 ^ 0x7465646279746573,
+        ]
+    }
+
+    #[inline]
+    fn finalize(mut v: [u64; 4], last: u64) -> u64 {
         v[3] ^= last;
         sipround(&mut v);
         sipround(&mut v);
@@ -92,16 +161,41 @@ impl SipHash24 {
         }
         v[0] ^ v[1] ^ v[2] ^ v[3]
     }
+}
 
-    /// Hashes a sequence of 64-bit words (convenience for address/counter
-    /// tuples that dominate MAC inputs in the simulator).
+#[inline]
+fn compress(v: &mut [u64; 4], m: u64) {
+    v[3] ^= m;
+    sipround(v);
+    sipround(v);
+    v[0] ^= m;
+}
+
+/// Incremental word-oriented SipHash-2-4 state; see [`SipHash24::words`].
+///
+/// Words enter the compression function directly (a word's little-endian
+/// bytes are exactly one SipHash block), so streaming needs no byte
+/// buffer at all.
+#[derive(Debug, Clone)]
+pub struct SipWordStream {
+    v: [u64; 4],
+    count: u64,
+}
+
+impl SipWordStream {
+    /// Appends one word to the message.
+    #[inline]
+    pub fn push(&mut self, word: u64) {
+        compress(&mut self.v, word);
+        self.count += 1;
+    }
+
+    /// Completes the hash over everything pushed so far.
     #[must_use]
-    pub fn hash_words(&self, words: &[u64]) -> u64 {
-        let mut bytes = Vec::with_capacity(words.len() * 8);
-        for w in words {
-            bytes.extend_from_slice(&w.to_le_bytes());
-        }
-        self.hash(&bytes)
+    pub fn finish(self) -> u64 {
+        // The byte message is `count * 8` long with no trailing partial
+        // block, so the final SipHash block carries only the length.
+        SipHash24::finalize(self.v, ((self.count * 8) & 0xff) << 56)
     }
 }
 
@@ -174,6 +268,44 @@ mod tests {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
         assert_eq!(h.hash_words(&words), h.hash(&bytes));
+    }
+
+    #[test]
+    fn hash_parts_matches_concatenation() {
+        let h = SipHash24::new(9, 10);
+        let msg: Vec<u8> = (0u8..=97).collect();
+        // Every two-way split, including empty parts.
+        for cut in 0..=msg.len() {
+            assert_eq!(
+                h.hash_parts(&[&msg[..cut], &msg[cut..]]),
+                h.hash(&msg),
+                "split at {cut}"
+            );
+        }
+        // A many-part split with awkward (non-word) boundaries.
+        assert_eq!(
+            h.hash_parts(&[&msg[..3], &[], &msg[3..20], &msg[20..21], &msg[21..]]),
+            h.hash(&msg)
+        );
+        assert_eq!(h.hash_parts(&[]), h.hash(&[]));
+    }
+
+    #[test]
+    fn word_stream_matches_hash_words() {
+        let h = SipHash24::new(11, 12);
+        // Lengths straddling the 256-byte length wraparound (len & 0xff).
+        for n in [0usize, 1, 2, 7, 31, 32, 33, 64] {
+            let words: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+            let mut s = h.words();
+            for &w in &words {
+                s.push(w);
+            }
+            let mut bytes = Vec::new();
+            for w in &words {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            assert_eq!(s.finish(), h.hash(&bytes), "{n} words");
+        }
     }
 
     #[test]

@@ -1,62 +1,96 @@
 //! Property tests for the crypto substrate: round-trips, uniqueness and
-//! packing invariants under random inputs.
+//! packing invariants under random inputs (deterministic thoth-testkit
+//! cases; a failure names the replayable case index).
 
-use proptest::prelude::*;
 use thoth_crypto::counter::{CounterBlock, CounterGroup};
 use thoth_crypto::{Aes128, CtrMode, MacEngine, MacKey};
+use thoth_testkit::check;
 
-proptest! {
-    #[test]
-    fn aes_roundtrips_any_block(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+#[test]
+fn aes_roundtrips_any_block() {
+    check(256, |g| {
+        let key: [u8; 16] = g.bytes();
+        let pt: [u8; 16] = g.bytes();
         let aes = Aes128::new(&key);
-        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
-    }
+        assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+    });
+}
 
-    #[test]
-    fn aes_is_a_permutation(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
-        prop_assume!(a != b);
+#[test]
+fn aes_is_a_permutation() {
+    check(256, |g| {
+        let key: [u8; 16] = g.bytes();
+        let a: [u8; 16] = g.bytes();
+        let b: [u8; 16] = g.bytes();
+        if a == b {
+            return;
+        }
         let aes = Aes128::new(&key);
-        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
-    }
+        assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    });
+}
 
-    #[test]
-    fn ctr_mode_ciphertexts_are_position_unique(
-        data in proptest::collection::vec(any::<u8>(), 64..=64),
-        addr1 in (0u64..1 << 40).prop_map(|a| a & !63),
-        addr2 in (0u64..1 << 40).prop_map(|a| a & !63),
-    ) {
-        prop_assume!(addr1 != addr2);
-        let ctr = CtrMode::new(b"prop-key-0123456");
-        prop_assert_ne!(
+#[test]
+fn ctr_mode_ciphertexts_are_position_unique() {
+    let ctr = CtrMode::new(b"prop-key-0123456");
+    check(128, |g| {
+        let data = g.byte_vec(64);
+        let addr1 = g.below(1 << 40) & !63;
+        let addr2 = g.below(1 << 40) & !63;
+        if addr1 == addr2 {
+            return;
+        }
+        assert_ne!(
             ctr.encrypt(addr1, 0, 0, &data),
             ctr.encrypt(addr2, 0, 0, &data)
         );
-    }
+    });
+}
 
-    #[test]
-    fn counter_groups_pack_into_blocks_losslessly(
-        incs in proptest::collection::vec((0usize..3, 0usize..32), 0..500)
-    ) {
+/// The T-table fast path must agree with the byte-wise FIPS-197 oracle on
+/// every key/block pair — the tentpole optimization's safety net.
+#[test]
+fn ttable_encrypt_matches_bytewise_oracle() {
+    check(512, |g| {
+        let key: [u8; 16] = g.bytes();
+        let pt: [u8; 16] = g.bytes();
+        let aes = Aes128::new(&key);
+        assert_eq!(
+            aes.encrypt_block(&pt),
+            aes.encrypt_block_bytewise(&pt),
+            "T-table and byte-wise AES disagree"
+        );
+    });
+}
+
+#[test]
+fn counter_groups_pack_into_blocks_losslessly() {
+    check(128, |g| {
         // Three groups of 32 minors = the 128 B-block geometry.
         let geo = CounterBlock::geometry(128, 4096);
         let mut groups: Vec<CounterGroup> =
             (0..geo.groups_per_block).map(|_| CounterGroup::new(32)).collect();
-        for (g, slot) in incs {
-            groups[g].increment(slot);
+        for _ in 0..g.range(0, 500) {
+            let grp = g.range_usize(0, 3);
+            let slot = g.range_usize(0, 32);
+            groups[grp].increment(slot);
         }
-        prop_assert_eq!(geo.unpack(&geo.pack(&groups)), groups);
-    }
+        assert_eq!(geo.unpack(&geo.pack(&groups)), groups);
+    });
+}
 
-    #[test]
-    fn second_level_mac_distinguishes_minors(
-        data in proptest::collection::vec(any::<u8>(), 128..=128),
-        minor_a in 0u8..128,
-        minor_b in 0u8..128,
-    ) {
-        prop_assume!(minor_a != minor_b);
-        let eng = MacEngine::new(MacKey([1u8; 16]));
+#[test]
+fn second_level_mac_distinguishes_minors() {
+    let eng = MacEngine::new(MacKey([1u8; 16]));
+    check(128, |g| {
+        let data = g.byte_vec(128);
+        let minor_a = g.below(128) as u8;
+        let minor_b = g.below(128) as u8;
+        if minor_a == minor_b {
+            return;
+        }
         let (_, a) = eng.both_levels(0x40, 9, minor_a, &data);
         let (_, b) = eng.both_levels(0x40, 9, minor_b, &data);
-        prop_assert_ne!(a, b);
-    }
+        assert_ne!(a, b);
+    });
 }

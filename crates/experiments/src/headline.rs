@@ -23,10 +23,11 @@ use std::collections::BTreeMap;
 /// `(workload, block_bytes, mode label)`.
 pub type HeadlineRuns = BTreeMap<(String, usize, String), SimReport>;
 
-/// Runs the headline matrix: 5 workloads × {128, 256} B × 4 modes,
-/// parallelized across available cores.
+/// Builds the headline job matrix: 5 workloads × {128, 256} B × 4 modes.
+/// Public so the determinism test can replay the exact same jobs through
+/// the sequential runner.
 #[must_use]
-pub fn run_matrix(cache: &mut TraceCache) -> HeadlineRuns {
+pub fn matrix_jobs(cache: &mut TraceCache) -> Vec<Job<(String, usize, String)>> {
     let mut jobs = Vec::new();
     for kind in WorkloadKind::ALL {
         let trace = cache.get(kind, 128);
@@ -45,7 +46,34 @@ pub fn run_matrix(cache: &mut TraceCache) -> HeadlineRuns {
             }
         }
     }
-    run_jobs(jobs).into_iter().collect()
+    jobs
+}
+
+/// Runs the headline matrix, parallelized across available cores.
+#[must_use]
+pub fn run_matrix(cache: &mut TraceCache) -> HeadlineRuns {
+    run_jobs(matrix_jobs(cache)).into_iter().collect()
+}
+
+/// Order-stable digest of a whole headline matrix: folds every run's
+/// [`SimReport::digest`] under its key, in `BTreeMap` order. Equal iff
+/// every report in both matrices is bit-identical — the contract the
+/// hot-path optimizations are held to (see `tests/determinism.rs`).
+#[must_use]
+pub fn matrix_digest(runs: &HeadlineRuns) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for ((workload, block, mode), report) in runs {
+        mix(workload.as_bytes());
+        mix(&(*block as u64).to_le_bytes());
+        mix(mode.as_bytes());
+        mix(&report.digest().to_le_bytes());
+    }
+    h
 }
 
 /// Figure 8: speedups over the per-block-size baseline.

@@ -28,6 +28,7 @@ pub mod cachesweep;
 pub mod fig3;
 pub mod headline;
 pub mod lifetime;
+pub mod perf;
 pub mod recovery;
 pub mod runner;
 pub mod tablefmt;

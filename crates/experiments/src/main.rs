@@ -13,7 +13,7 @@
 
 use thoth_experiments::runner::ExpSettings;
 use thoth_experiments::tablefmt::Table;
-use thoth_experiments::{ablation, cachesweep, fig3, headline, lifetime, recovery, txsweep, wpqsweep};
+use thoth_experiments::{ablation, cachesweep, fig3, headline, lifetime, perf, recovery, txsweep, wpqsweep};
 
 use std::path::PathBuf;
 
@@ -21,6 +21,7 @@ fn main() {
     let mut settings = ExpSettings::default();
     let mut csv_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
+    let mut scale_given = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,6 +29,7 @@ fn main() {
             "--scale" => {
                 let v = args.next().expect("--scale needs a value");
                 settings.scale = v.parse().expect("--scale takes a float");
+                scale_given = true;
             }
             "--quick" => settings = ExpSettings::quick(),
             "--seed" => {
@@ -77,6 +79,15 @@ fn main() {
             "fig11" => emit(cachesweep::run(settings), "fig11"),
             "fig12" => emit(wpqsweep::run(settings), "fig12"),
             "recovery" => emit(recovery::run(settings), "recovery"),
+            "perf" => {
+                // Perf trajectory defaults to the quick headline config so
+                // successive runs are comparable; --scale overrides.
+                let mut s = settings;
+                if !scale_given {
+                    s.scale = ExpSettings::quick().scale;
+                }
+                emit(perf::run(s), "perf");
+            }
             "ablation" => emit(ablation::run(settings), "ablation"),
             "lifetime" => emit(lifetime::run(settings), "lifetime"),
             "all" => {}
@@ -112,6 +123,8 @@ EXPERIMENTS:
   fig11     Figure 11 — metadata cache size sensitivity
   fig12     Figure 12 — WPQ size sensitivity
   recovery  Section IV-D — crash recovery + time model
+  perf      perf-trajectory harness: wall-clock + persists/s per mode,
+            writes results/BENCH_perf.json (quick scale unless --scale)
   ablation  PUB/PCB design-space sweeps, PCB arrangement, eADR
   lifetime  NVM write totals + wear concentration per mode
   all       everything above (default)

@@ -1,7 +1,9 @@
 //! Shared experiment plumbing: scaled workload traces and simulation runs.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use thoth_sim::{Mode, SimConfig, SimReport};
 use thoth_workloads::{spec, MultiCoreTrace, WorkloadConfig, WorkloadKind};
@@ -107,45 +109,42 @@ pub struct Job<K> {
     pub trace: Arc<MultiCoreTrace>,
 }
 
-/// Runs a batch of simulations across all available cores (crossbeam
-/// scoped worker pool). Results come back in submission order; each
-/// simulation is itself deterministic, so the parallel and sequential
-/// paths produce identical reports.
+/// Runs a batch of simulations across all available cores (std scoped
+/// worker pool — no external crates). Results come back in submission
+/// order; each simulation is itself deterministic, so the parallel and
+/// sequential paths produce identical reports (guarded by the
+/// `parallel_and_sequential_runs_agree` test).
+///
+/// Each completed job logs one progress line (key + wall-clock) to stderr
+/// so long sweeps are observable.
 #[must_use]
-pub fn run_jobs<K: Send>(jobs: Vec<Job<K>>) -> Vec<(K, SimReport)> {
+pub fn run_jobs<K: Send + std::fmt::Debug>(jobs: Vec<Job<K>>) -> Vec<(K, SimReport)> {
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(jobs.len().max(1));
     if workers <= 1 {
-        return jobs
-            .into_iter()
-            .map(|j| {
-                let report = simulate(&j.config, &j.trace);
-                (j.key, report)
-            })
-            .collect();
+        return run_jobs_sequential(jobs);
     }
     let n = jobs.len();
-    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, Job<K>)>();
-    let (result_tx, result_rx) = crossbeam::channel::unbounded();
-    for item in jobs.into_iter().enumerate() {
-        task_tx.send(item).expect("queue open");
-    }
-    drop(task_tx);
-    crossbeam::thread::scope(|scope| {
+    let queue: Mutex<VecDeque<(usize, Job<K>)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let done = AtomicUsize::new(0);
+    let (result_tx, result_rx) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
             let result_tx = result_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok((i, job)) = task_rx.recv() {
-                    let report = simulate(&job.config, &job.trace);
-                    result_tx.send((i, (job.key, report))).expect("results open");
-                }
+            let queue = &queue;
+            let done = &done;
+            scope.spawn(move || loop {
+                let item = queue.lock().expect("queue lock").pop_front();
+                let Some((i, job)) = item else { break };
+                let started = Instant::now();
+                let report = simulate(&job.config, &job.trace);
+                log_job_done(done.fetch_add(1, Ordering::Relaxed) + 1, n, &job.key, started);
+                result_tx.send((i, (job.key, report))).expect("results open");
             });
         }
-    })
-    .expect("worker panicked");
+    });
     drop(result_tx);
     let mut out: Vec<Option<(K, SimReport)>> = (0..n).map(|_| None).collect();
     for (i, kv) in result_rx {
@@ -154,6 +153,33 @@ pub fn run_jobs<K: Send>(jobs: Vec<Job<K>>) -> Vec<(K, SimReport)> {
     out.into_iter()
         .map(|o| o.expect("every job completed"))
         .collect()
+}
+
+/// Runs the same batch strictly sequentially, on the calling thread.
+///
+/// Exists so the determinism test can compare against [`run_jobs`]; it is
+/// also the fallback on single-core machines.
+#[must_use]
+pub fn run_jobs_sequential<K: Send + std::fmt::Debug>(jobs: Vec<Job<K>>) -> Vec<(K, SimReport)> {
+    let n = jobs.len();
+    jobs.into_iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let started = Instant::now();
+            let report = simulate(&j.config, &j.trace);
+            log_job_done(i + 1, n, &j.key, started);
+            (j.key, report)
+        })
+        .collect()
+}
+
+/// One progress line per finished simulation (stderr, so table output on
+/// stdout stays machine-readable).
+fn log_job_done<K: std::fmt::Debug>(done: usize, total: usize, key: &K, started: Instant) {
+    eprintln!(
+        "[thoth-experiments] job {done}/{total} {key:?} finished in {:.2?}",
+        started.elapsed()
+    );
 }
 
 /// Builds a `SimConfig` for a mode and block size with the experiment

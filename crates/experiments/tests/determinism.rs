@@ -1,0 +1,54 @@
+//! The determinism contract behind every optimization in this repo:
+//!
+//! 1. the parallel job runner produces byte-identical reports to a strict
+//!    sequential replay of the same jobs, and
+//! 2. the quick-mode headline matrix digests to a pinned golden value,
+//!    captured before the hot-path optimizations landed — so "faster" can
+//!    never silently become "different".
+
+use thoth_experiments::headline::{matrix_digest, matrix_jobs, HeadlineRuns};
+use thoth_experiments::runner::{run_jobs, run_jobs_sequential, ExpSettings, TraceCache};
+
+/// Golden digest of the quick-settings headline matrix (5 workloads ×
+/// {128, 256} B × 4 modes at `ExpSettings::quick()`), captured on the
+/// pre-optimization implementation. Any change to simulated behaviour —
+/// event order, crypto output, cache policy, counters — moves this value.
+///
+/// If a change is *supposed* to alter simulated behaviour, re-pin with:
+/// `cargo test -p thoth-experiments --test determinism -- --nocapture`
+/// (a mismatch prints the new digest) and record why in the commit.
+const GOLDEN_QUICK_DIGEST: u64 = 0xab00_fa10_45cd_2f2f;
+
+fn quick_matrix_parallel() -> HeadlineRuns {
+    let mut cache = TraceCache::new(ExpSettings::quick());
+    run_jobs(matrix_jobs(&mut cache)).into_iter().collect()
+}
+
+#[test]
+fn parallel_and_sequential_runs_agree() {
+    let mut cache = TraceCache::new(ExpSettings::quick());
+    let par: HeadlineRuns = run_jobs(matrix_jobs(&mut cache)).into_iter().collect();
+    let seq: HeadlineRuns = run_jobs_sequential(matrix_jobs(&mut cache))
+        .into_iter()
+        .collect();
+    assert_eq!(par.len(), seq.len());
+    for (key, report) in &par {
+        assert_eq!(
+            report.digest(),
+            seq[key].digest(),
+            "parallel and sequential reports diverge for {key:?}"
+        );
+    }
+    assert_eq!(matrix_digest(&par), matrix_digest(&seq));
+}
+
+#[test]
+fn quick_headline_matches_golden_snapshot() {
+    let digest = matrix_digest(&quick_matrix_parallel());
+    assert_eq!(
+        digest, GOLDEN_QUICK_DIGEST,
+        "headline matrix digest changed: got {digest:#018x}. If the \
+         simulated behaviour was intentionally changed, re-pin \
+         GOLDEN_QUICK_DIGEST and say why in the commit message."
+    );
+}

@@ -1,23 +1,23 @@
 //! Property tests: WPQ durability, coalescing and forwarding under
-//! random insert streams.
+//! random insert streams (deterministic thoth-testkit cases).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use thoth_memctrl::{Wpq, WpqConfig};
 use thoth_nvm::{NvmConfig, NvmDevice, WriteCategory};
 use thoth_sim_engine::Cycle;
+use thoth_testkit::{check, Gen};
 
-fn arb_writes() -> impl Strategy<Value = Vec<(u64, u8)>> {
-    proptest::collection::vec((0u64..24, any::<u8>()), 1..200)
+fn arb_writes(g: &mut Gen) -> Vec<(u64, u8)> {
+    g.vec_of(1, 200, |g| (g.below(24), g.u8()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Durability: after drain_all, NVM holds the *last* value written to
-    /// every address, no matter how inserts coalesced or stalled.
-    #[test]
-    fn drain_all_persists_newest_values(writes in arb_writes(), cap in 2usize..16) {
+/// Durability: after drain_all, NVM holds the *last* value written to
+/// every address, no matter how inserts coalesced or stalled.
+#[test]
+fn drain_all_persists_newest_values() {
+    check(64, |g| {
+        let writes = arb_writes(g);
+        let cap = g.range_usize(2, 16);
         let mut nvm = NvmDevice::new(NvmConfig::table_i(128));
         let mut wpq = Wpq::new(WpqConfig::with_capacity(cap));
         let mut last: HashMap<u64, u8> = HashMap::new();
@@ -30,14 +30,17 @@ proptest! {
         }
         wpq.drain_all(t, &mut nvm);
         for (addr, v) in last {
-            prop_assert_eq!(nvm.read_block(addr), vec![v; 128]);
+            assert_eq!(nvm.read_block(addr), vec![v; 128]);
         }
-    }
+    });
+}
 
-    /// Crash durability: the ADR flush must leave NVM with the newest
-    /// value per address too.
-    #[test]
-    fn crash_flush_persists_newest_values(writes in arb_writes()) {
+/// Crash durability: the ADR flush must leave NVM with the newest
+/// value per address too.
+#[test]
+fn crash_flush_persists_newest_values() {
+    check(64, |g| {
+        let writes = arb_writes(g);
         let mut nvm = NvmDevice::new(NvmConfig::table_i(128));
         let mut wpq = Wpq::new(WpqConfig::with_capacity(8));
         let mut last: HashMap<u64, u8> = HashMap::new();
@@ -49,14 +52,17 @@ proptest! {
         }
         wpq.crash_flush(&mut nvm);
         for (addr, v) in last {
-            prop_assert_eq!(nvm.read_block(addr)[0], v);
+            assert_eq!(nvm.read_block(addr)[0], v);
         }
-    }
+    });
+}
 
-    /// Forwarding: right after an insert, `forward` must see the newest
-    /// pending payload or the device must already hold it.
-    #[test]
-    fn forward_or_device_always_has_newest(writes in arb_writes()) {
+/// Forwarding: right after an insert, `forward` must see the newest
+/// pending payload or the device must already hold it.
+#[test]
+fn forward_or_device_always_has_newest() {
+    check(64, |g| {
+        let writes = arb_writes(g);
         let mut nvm = NvmDevice::new(NvmConfig::table_i(128));
         let mut wpq = Wpq::new(WpqConfig::with_capacity(8));
         let mut t = Cycle(0);
@@ -67,22 +73,26 @@ proptest! {
                 .forward(addr)
                 .map(|p| p[0])
                 .unwrap_or_else(|| nvm.read_block(addr)[0]);
-            prop_assert_eq!(seen, v, "stale read after insert");
+            assert_eq!(seen, v, "stale read after insert");
         }
-    }
+    });
+}
 
-    /// Occupancy never exceeds capacity; ACK cycles never go backwards
-    /// for a single issuing stream.
-    #[test]
-    fn occupancy_bounded_and_acks_monotonic(writes in arb_writes(), cap in 1usize..12) {
+/// Occupancy never exceeds capacity; ACK cycles never go backwards
+/// for a single issuing stream.
+#[test]
+fn occupancy_bounded_and_acks_monotonic() {
+    check(64, |g| {
+        let writes = arb_writes(g);
+        let cap = g.range_usize(1, 12);
         let mut nvm = NvmDevice::new(NvmConfig::table_i(128));
         let mut wpq = Wpq::new(WpqConfig::with_capacity(cap));
         let mut t = Cycle(0);
         for (slot, v) in writes {
             let ack = wpq.insert(t, slot * 128, Some(vec![v; 128]), WriteCategory::Data, &mut nvm);
-            prop_assert!(ack >= t, "ACK in the past");
-            prop_assert!(wpq.occupancy() <= cap);
+            assert!(ack >= t, "ACK in the past");
+            assert!(wpq.occupancy() <= cap);
             t = ack;
         }
-    }
+    });
 }

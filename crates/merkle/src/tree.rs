@@ -7,7 +7,7 @@
 
 use thoth_crypto::SipHash24;
 
-use std::collections::HashMap;
+use thoth_sim_engine::FastMap;
 
 /// Identifies a tree node by level and index.
 ///
@@ -97,7 +97,7 @@ pub struct BonsaiTree {
     levels: u32,
     hasher: SipHash24,
     /// Sparse node hashes per level; missing entries take the level default.
-    nodes: Vec<HashMap<u64, u64>>,
+    nodes: Vec<FastMap<u64, u64>>,
     /// `default[level]` = hash of a node whose entire subtree is default.
     default: Vec<u64>,
 }
@@ -123,7 +123,7 @@ impl BonsaiTree {
             config,
             levels,
             hasher,
-            nodes: (0..levels).map(|_| HashMap::new()).collect(),
+            nodes: (0..levels).map(|_| FastMap::default()).collect(),
             default,
         }
     }
@@ -134,11 +134,13 @@ impl BonsaiTree {
     /// are position-independent; materialized nodes bind their index,
     /// which defeats node-relocation attacks.
     fn node_hash(hasher: &SipHash24, level: u32, index: u64, children: &[u64]) -> u64 {
-        let mut words = Vec::with_capacity(children.len() + 2);
-        words.extend_from_slice(children);
-        words.push(u64::from(level));
-        words.push(index);
-        hasher.hash_words(&words)
+        let mut s = hasher.words();
+        for &c in children {
+            s.push(c);
+        }
+        s.push(u64::from(level));
+        s.push(index);
+        s.finish()
     }
 
     /// The tree configuration.
@@ -198,15 +200,18 @@ impl BonsaiTree {
                 .nodes_at(level - 1)
                 .min(first_child + self.config.arity)
                 - first_child;
-            let children: Vec<u64> = (0..child_count)
-                .map(|i| {
-                    self.hash_of(NodeId {
-                        level: level - 1,
-                        index: first_child + i,
-                    })
-                })
-                .collect();
-            let h = Self::node_hash(&self.hasher, level, index, &children);
+            // Stream children straight into the hash (same message as
+            // `node_hash`, without collecting them first).
+            let mut s = self.hasher.words();
+            for i in 0..child_count {
+                s.push(self.hash_of(NodeId {
+                    level: level - 1,
+                    index: first_child + i,
+                }));
+            }
+            s.push(u64::from(level));
+            s.push(index);
+            let h = s.finish();
             self.nodes[level as usize].insert(index, h);
             path.push(NodeId { level, index });
             child_index = index;
@@ -217,10 +222,8 @@ impl BonsaiTree {
     /// The leaf hash for a counter-block image (binds the block address).
     #[must_use]
     pub fn leaf_hash_of(&self, counter_block_addr: u64, image: &[u8]) -> u64 {
-        let mut msg = Vec::with_capacity(image.len() + 8);
-        msg.extend_from_slice(image);
-        msg.extend_from_slice(&counter_block_addr.to_le_bytes());
-        self.hasher.hash(&msg)
+        self.hasher
+            .hash_parts(&[image, &counter_block_addr.to_le_bytes()])
     }
 
     /// Verifies that leaf `index` currently holds `leaf_hash` *and* that
@@ -243,17 +246,18 @@ impl BonsaiTree {
                 .nodes_at(level - 1)
                 .min(first_child + self.config.arity)
                 - first_child;
-            let children: Vec<u64> = (0..child_count)
-                .map(|i| {
-                    self.hash_of(NodeId {
-                        level: level - 1,
-                        index: first_child + i,
-                    })
-                })
-                .collect();
             match self.nodes[level as usize].get(&idx) {
                 Some(&stored) => {
-                    let expect = Self::node_hash(&self.hasher, level, idx, &children);
+                    let mut s = self.hasher.words();
+                    for i in 0..child_count {
+                        s.push(self.hash_of(NodeId {
+                            level: level - 1,
+                            index: first_child + i,
+                        }));
+                    }
+                    s.push(u64::from(level));
+                    s.push(idx);
+                    let expect = s.finish();
                     if stored != expect {
                         return false;
                     }
@@ -262,7 +266,13 @@ impl BonsaiTree {
                     // An unmaterialized node attests that its whole subtree
                     // is default; any materialized child contradicts that.
                     let child_default = self.default[(level - 1) as usize];
-                    if children.iter().any(|&c| c != child_default) {
+                    let any_materialized = (0..child_count).any(|i| {
+                        self.hash_of(NodeId {
+                            level: level - 1,
+                            index: first_child + i,
+                        }) != child_default
+                    });
+                    if any_materialized {
                         return false;
                     }
                 }
@@ -291,7 +301,7 @@ impl BonsaiTree {
     /// Number of materialized (non-default) nodes, across all levels.
     #[must_use]
     pub fn materialized_nodes(&self) -> usize {
-        self.nodes.iter().map(HashMap::len).sum()
+        self.nodes.iter().map(FastMap::len).sum()
     }
 }
 

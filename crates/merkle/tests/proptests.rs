@@ -1,17 +1,16 @@
 //! Property tests: Bonsai-tree equivalence with a reference rebuild and
-//! shadow-tracker set semantics.
+//! shadow-tracker set semantics (deterministic thoth-testkit cases).
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use thoth_merkle::{BonsaiTree, MerkleConfig, ShadowTracker};
+use thoth_testkit::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Incremental updates and a from-scratch rebuild of the final state
-    /// always agree on the root.
-    #[test]
-    fn incremental_equals_rebuild(updates in proptest::collection::vec((0u64..1000, any::<u64>()), 0..100)) {
+/// Incremental updates and a from-scratch rebuild of the final state
+/// always agree on the root.
+#[test]
+fn incremental_equals_rebuild() {
+    check(64, |g| {
+        let updates = g.vec_of(0, 100, |g| (g.below(1000), g.u64()));
         let cfg = MerkleConfig::new(8, 1000);
         let mut inc = BonsaiTree::new(cfg, 7);
         let mut finals: BTreeMap<u64, u64> = BTreeMap::new();
@@ -20,12 +19,15 @@ proptest! {
             finals.insert(i, v);
         }
         let rebuilt = BonsaiTree::from_leaves(cfg, 7, finals);
-        prop_assert_eq!(inc.root(), rebuilt.root());
-    }
+        assert_eq!(inc.root(), rebuilt.root());
+    });
+}
 
-    /// Every updated leaf verifies, and a perturbed value never does.
-    #[test]
-    fn verify_accepts_exactly_current_values(updates in proptest::collection::vec((0u64..200, 1u64..), 1..50)) {
+/// Every updated leaf verifies, and a perturbed value never does.
+#[test]
+fn verify_accepts_exactly_current_values() {
+    check(64, |g| {
+        let updates = g.vec_of(1, 50, |g| (g.below(200), g.range(1, u64::MAX)));
         let cfg = MerkleConfig::new(8, 200);
         let mut t = BonsaiTree::new(cfg, 3);
         let mut finals: BTreeMap<u64, u64> = BTreeMap::new();
@@ -34,14 +36,17 @@ proptest! {
             finals.insert(i, v);
         }
         for (&i, &v) in &finals {
-            prop_assert!(t.verify_leaf(i, v));
-            prop_assert!(!t.verify_leaf(i, v.wrapping_add(1)));
+            assert!(t.verify_leaf(i, v));
+            assert!(!t.verify_leaf(i, v.wrapping_add(1)));
         }
-    }
+    });
+}
 
-    /// The shadow tracker behaves as a set with change-counting.
-    #[test]
-    fn shadow_tracker_is_a_set(ops in proptest::collection::vec((any::<bool>(), 0u64..32), 0..200)) {
+/// The shadow tracker behaves as a set with change-counting.
+#[test]
+fn shadow_tracker_is_a_set() {
+    check(64, |g| {
+        let ops = g.vec_of(0, 200, |g| (g.bool(), g.below(32)));
         let mut tracker = ShadowTracker::new();
         let mut set = std::collections::BTreeSet::new();
         let mut changes = 0u64;
@@ -49,16 +54,18 @@ proptest! {
             let addr = a * 64;
             let changed = if dirty {
                 let c = tracker.note_dirty(addr);
-                prop_assert_eq!(c, set.insert(addr));
+                assert_eq!(c, set.insert(addr));
                 c
             } else {
                 let c = tracker.note_clean(addr);
-                prop_assert_eq!(c, set.remove(&addr));
+                assert_eq!(c, set.remove(&addr));
                 c
             };
-            if changed { changes += 1; }
+            if changed {
+                changes += 1;
+            }
         }
-        prop_assert_eq!(tracker.tracked(), set.iter().copied().collect::<Vec<_>>());
-        prop_assert_eq!(tracker.updates(), changes);
-    }
+        assert_eq!(tracker.tracked(), set.iter().copied().collect::<Vec<_>>());
+        assert_eq!(tracker.updates(), changes);
+    });
 }

@@ -6,11 +6,10 @@
 //! (4) evicted MAC blocks, plus low-frequency "other" categories
 //! (tree nodes, shadow-region updates, recovery writes).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The category of an NVM block write, for Figure 9 / Table II accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WriteCategory {
     /// Regular (cipher-text) data blocks.
     Data,
@@ -43,6 +42,22 @@ impl WriteCategory {
         WriteCategory::Other,
     ];
 
+    /// Position in [`Self::ALL`]; used as a dense array index by the
+    /// device's per-category write counters.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            WriteCategory::Data => 0,
+            WriteCategory::CounterBlock => 1,
+            WriteCategory::MacBlock => 2,
+            WriteCategory::PubBlock => 3,
+            WriteCategory::TreeNode => 4,
+            WriteCategory::Shadow => 5,
+            WriteCategory::Recovery => 6,
+            WriteCategory::Other => 7,
+        }
+    }
+
     /// A short, stable identifier used in stats names and CSV columns.
     #[must_use]
     pub fn tag(self) -> &'static str {
@@ -68,6 +83,13 @@ impl fmt::Display for WriteCategory {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, c) in WriteCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
 
     #[test]
     fn tags_are_unique() {

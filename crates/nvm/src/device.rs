@@ -2,13 +2,10 @@
 
 use crate::category::WriteCategory;
 use crate::wear::WearTracker;
-use serde::{Deserialize, Serialize};
-use thoth_sim_engine::{Cycle, Frequency, StatsRegistry};
-
-use std::collections::HashMap;
+use thoth_sim_engine::{Cycle, FastMap, Frequency};
 
 /// Static configuration of the NVM device (paper Table I defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NvmConfig {
     /// Total capacity in bytes (32 GB in the paper).
     pub capacity_bytes: u64,
@@ -78,12 +75,20 @@ impl NvmConfig {
 #[derive(Debug)]
 pub struct NvmDevice {
     config: NvmConfig,
-    /// Sparse block store: block-aligned address -> block image.
-    blocks: HashMap<u64, Vec<u8>>,
+    /// Sparse block store: block-aligned address -> fixed-size block image.
+    /// `Box<[u8]>` rather than `Vec<u8>`: blocks never resize, and rewrites
+    /// reuse the existing allocation instead of replacing it.
+    blocks: FastMap<u64, Box<[u8]>>,
     /// Per-bank earliest availability.
     bank_busy_until: Vec<Cycle>,
     wear: WearTracker,
-    stats: StatsRegistry,
+    /// Functional writes per category, indexed by [`WriteCategory::index`]
+    /// (a dense array so the per-write accounting is two adds, not a
+    /// string-keyed map lookup).
+    writes_by_cat: [u64; WriteCategory::ALL.len()],
+    /// Timed accesses issued through [`Self::time_access`].
+    timed_reads: u64,
+    timed_writes: u64,
 }
 
 impl NvmDevice {
@@ -92,10 +97,12 @@ impl NvmDevice {
     pub fn new(config: NvmConfig) -> Self {
         NvmDevice {
             config,
-            blocks: HashMap::new(),
+            blocks: FastMap::default(),
             bank_busy_until: vec![Cycle::ZERO; config.num_banks],
             wear: WearTracker::new(),
-            stats: StatsRegistry::new(),
+            writes_by_cat: [0; WriteCategory::ALL.len()],
+            timed_reads: 0,
+            timed_writes: 0,
         }
     }
 
@@ -133,8 +140,18 @@ impl NvmDevice {
         let block = self.align(addr);
         self.blocks
             .get(&block)
-            .cloned()
+            .map(|b| b.to_vec())
             .unwrap_or_else(|| vec![0; self.config.block_bytes])
+    }
+
+    /// Borrowing read of the block containing `addr`, or `None` for a
+    /// never-written (all-zero) block. The allocation-free path for hot
+    /// callers; [`Self::read_block`] stays for everyone who wants an owned
+    /// image.
+    #[must_use]
+    pub fn block_image(&self, addr: u64) -> Option<&[u8]> {
+        self.check_range(addr);
+        self.blocks.get(&self.align(addr)).map(|b| &**b)
     }
 
     /// Writes one full block, tagged with a traffic category.
@@ -150,11 +167,15 @@ impl NvmDevice {
             "write must be one full block"
         );
         let block = self.align(addr);
-        self.blocks.insert(block, data.to_vec());
+        // Reuse the existing allocation on rewrite — the common case once a
+        // block is resident.
+        if let Some(img) = self.blocks.get_mut(&block) {
+            img.copy_from_slice(data);
+        } else {
+            self.blocks.insert(block, data.into());
+        }
         self.wear.record(block);
-        self.stats
-            .counter(&format!("nvm.writes.{}", category.tag()))
-            .incr();
+        self.writes_by_cat[category.index()] += 1;
     }
 
     /// Records a write for accounting/wear without storing bytes.
@@ -165,9 +186,7 @@ impl NvmDevice {
         self.check_range(addr);
         let block = self.align(addr);
         self.wear.record(block);
-        self.stats
-            .counter(&format!("nvm.writes.{}", category.tag()))
-            .incr();
+        self.writes_by_cat[category.index()] += 1;
     }
 
     /// Reads `len` bytes starting at `addr` (may span blocks).
@@ -193,10 +212,11 @@ impl NvmDevice {
         self.check_range(addr);
         let block = self.align(addr);
         let offset = (addr - block) as usize;
+        let block_bytes = self.config.block_bytes;
         let img = self
             .blocks
             .entry(block)
-            .or_insert_with(|| vec![0; self.config.block_bytes]);
+            .or_insert_with(|| vec![0u8; block_bytes].into());
         img[offset] ^= xor_mask;
     }
 
@@ -236,13 +256,11 @@ impl NvmDevice {
         let start = now.max(self.bank_busy_until[bank]);
         let done = start + latency;
         self.bank_busy_until[bank] = done;
-        self.stats
-            .counter(if is_write {
-                "nvm.timing.writes"
-            } else {
-                "nvm.timing.reads"
-            })
-            .incr();
+        if is_write {
+            self.timed_writes += 1;
+        } else {
+            self.timed_reads += 1;
+        }
         done
     }
 
@@ -263,14 +281,25 @@ impl NvmDevice {
     /// Count of functional writes in `category`.
     #[must_use]
     pub fn writes_in(&self, category: WriteCategory) -> u64 {
-        self.stats
-            .counter_value(&format!("nvm.writes.{}", category.tag()))
+        self.writes_by_cat[category.index()]
     }
 
     /// Total functional writes across all categories.
     #[must_use]
     pub fn total_writes(&self) -> u64 {
-        self.stats.sum_prefix("nvm.writes.")
+        self.writes_by_cat.iter().sum()
+    }
+
+    /// Reads issued through the timing model.
+    #[must_use]
+    pub fn timed_reads(&self) -> u64 {
+        self.timed_reads
+    }
+
+    /// Writes issued through the timing model.
+    #[must_use]
+    pub fn timed_writes(&self) -> u64 {
+        self.timed_writes
     }
 
     /// The wear tracker (per-block write counts).
@@ -279,17 +308,13 @@ impl NvmDevice {
         &self.wear
     }
 
-    /// The device's stats registry.
-    #[must_use]
-    pub fn stats(&self) -> &StatsRegistry {
-        &self.stats
-    }
-
     /// Zeroes all statistics and wear (keeps functional contents). Used at
     /// the end of warm-up so measured counts cover only the region of
     /// interest.
     pub fn reset_stats(&mut self) {
-        self.stats.clear();
+        self.writes_by_cat = [0; WriteCategory::ALL.len()];
+        self.timed_reads = 0;
+        self.timed_writes = 0;
         self.wear = WearTracker::new();
     }
 }

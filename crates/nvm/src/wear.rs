@@ -6,12 +6,12 @@
 //! write counts so experiments can additionally report maximum wear and a
 //! simple relative-lifetime estimate.
 
-use std::collections::HashMap;
+use thoth_sim_engine::FastMap;
 
 /// Tracks how many times each block has been written.
 #[derive(Debug, Clone, Default)]
 pub struct WearTracker {
-    writes: HashMap<u64, u64>,
+    writes: FastMap<u64, u64>,
     total: u64,
 }
 

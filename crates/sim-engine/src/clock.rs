@@ -5,7 +5,6 @@
 //! specified in nanoseconds (e.g. the PCM's 150 ns read / 500 ns write) are
 //! converted to cycles through [`Frequency`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -13,7 +12,7 @@ use std::ops::{Add, AddAssign, Sub};
 ///
 /// `Cycle` is an absolute timestamp; durations are plain `u64` cycle counts.
 /// The zero cycle is the start of simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(pub u64);
 
 impl Cycle {
@@ -81,7 +80,7 @@ impl fmt::Display for Cycle {
 /// assert_eq!(clk.ns_to_cycles(500), 2000); // PCM write latency
 /// assert_eq!(clk.cycles_to_ns(2000), 500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Frequency {
     hz: u64,
 }

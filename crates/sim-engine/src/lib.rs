@@ -5,7 +5,10 @@
 //!
 //! * [`Cycle`] — a strongly-typed simulation timestamp with nanosecond
 //!   conversions at a configurable clock frequency,
-//! * [`EventQueue`] — a stable-order discrete-event queue,
+//! * [`EventQueue`] — a stable-order discrete-event queue (bucketed
+//!   calendar queue; [`HeapEventQueue`] is the reference implementation),
+//! * [`fastmap`] — deterministic multiplicative hashing ([`FastMap`],
+//!   [`FastSet`]) for the simulator's address-keyed hot maps,
 //! * [`stats`] — lightweight counters and histograms used for all
 //!   paper-facing metrics,
 //! * [`rng`] — a deterministic, seedable random-number generator so every
@@ -31,10 +34,12 @@
 
 pub mod clock;
 pub mod events;
+pub mod fastmap;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Cycle, Frequency};
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapEventQueue};
+pub use fastmap::{FastMap, FastSet};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, StatsRegistry};

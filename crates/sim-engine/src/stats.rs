@@ -5,12 +5,11 @@
 //! registered in a [`StatsRegistry`]. The registry renders a stable,
 //! alphabetically sorted report so experiment output diffs cleanly.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -46,7 +45,7 @@ impl fmt::Display for Counter {
 /// A streaming histogram tracking count, sum, min, max and mean.
 ///
 /// Used for latency distributions (e.g. persist-barrier stall cycles).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: u64,
@@ -119,7 +118,7 @@ impl Histogram {
 /// assert_eq!(stats.counter_value("nvm.writes.data"), 3);
 /// assert_eq!(stats.counter_value("nvm.writes.unknown"), 0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StatsRegistry {
     counters: BTreeMap<String, Counter>,
     histograms: BTreeMap<String, Histogram>,

@@ -1,12 +1,15 @@
 //! Property tests: the event queue behaves like a stable sort, and the
-//! deterministic RNG honours its contracts.
+//! deterministic RNG honours its contracts (deterministic thoth-testkit
+//! cases).
 
-use proptest::prelude::*;
+use thoth_sim_engine::events::HeapEventQueue;
 use thoth_sim_engine::{Cycle, DetRng, EventQueue};
+use thoth_testkit::check;
 
-proptest! {
-    #[test]
-    fn event_queue_is_a_stable_sort(times in proptest::collection::vec(0u64..100, 0..200)) {
+#[test]
+fn event_queue_is_a_stable_sort() {
+    check(256, |g| {
+        let times = g.vec_of(0, 200, |g| g.below(100));
         let mut q = EventQueue::new();
         for (seq, &t) in times.iter().enumerate() {
             q.schedule(Cycle(t), seq);
@@ -19,33 +22,83 @@ proptest! {
         while let Some((at, seq)) = q.pop() {
             got.push((at.0, seq));
         }
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn rng_gen_range_is_always_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// The bucketed queue and the plain binary-heap reference must agree on
+/// every interleaving of schedules and pops — including far-future events
+/// (overflow path) and schedules into the past after pops advanced time.
+#[test]
+fn bucketed_queue_matches_heap_reference() {
+    check(256, |g| {
+        let mut q = EventQueue::new();
+        let mut r: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut clock = 0u64;
+        for i in 0..g.range(50, 400) {
+            if g.below(3) == 0 {
+                let (a, b) = (q.pop(), r.pop());
+                assert_eq!(a, b);
+                assert_eq!(q.peek_cycle(), r.peek_cycle());
+                if let Some((c, _)) = a {
+                    clock = clock.max(c.0);
+                }
+            } else {
+                // Mostly near-future cycles, some far-future (past the
+                // 1024-cycle bucket window), some into the past.
+                let at = match g.below(10) {
+                    0 => clock.saturating_sub(g.below(50)),
+                    1..=7 => clock + g.below(512),
+                    _ => clock + 4096 + g.below(100_000),
+                };
+                q.schedule(Cycle(at), i);
+                r.schedule(Cycle(at), i);
+            }
+            assert_eq!(q.len(), r.len());
+        }
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    });
+}
+
+#[test]
+fn rng_gen_range_is_always_in_bounds() {
+    check(128, |g| {
+        let seed = g.u64();
+        let bound = g.range(1, 1_000_000);
         let mut r = DetRng::seed_from(seed);
         for _ in 0..100 {
-            prop_assert!(r.gen_range(bound) < bound);
+            assert!(r.gen_range(bound) < bound);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_fork_streams_are_reproducible(seed in any::<u64>()) {
+#[test]
+fn rng_fork_streams_are_reproducible() {
+    check(128, |g| {
+        let seed = g.u64();
         let mut a = DetRng::seed_from(seed);
         let mut b = DetRng::seed_from(seed);
         let mut fa = a.fork();
         let mut fb = b.fork();
         for _ in 0..16 {
-            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+            assert_eq!(fa.next_u64(), fb.next_u64());
         }
-    }
+    });
+}
 
-    #[test]
-    fn cycle_ordering_is_total(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn cycle_ordering_is_total() {
+    check(256, |g| {
+        let (a, b) = (g.u64(), g.u64());
         let (ca, cb) = (Cycle(a), Cycle(b));
-        prop_assert_eq!(ca < cb, a < b);
-        prop_assert_eq!(ca.max(cb).0, a.max(b));
-        prop_assert_eq!(ca.saturating_since(cb), a.saturating_sub(b));
-    }
+        assert_eq!(ca < cb, a < b);
+        assert_eq!(ca.max(cb).0, a.max(b));
+        assert_eq!(ca.saturating_since(cb), a.saturating_sub(b));
+    });
 }

@@ -1,12 +1,11 @@
 //! Simulator configuration (the paper's Table I).
 
-use serde::{Deserialize, Serialize};
 use thoth_core::EvictionPolicy;
 use thoth_nvm::NvmConfig;
 use thoth_sim_engine::Frequency;
 
 /// The secure-memory organization being simulated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Strict persistence of counter + MAC blocks per data write (Anubis
     /// adapted to emerging interfaces — the paper's baseline).
@@ -62,7 +61,7 @@ impl Mode {
 }
 
 /// How the PCB is arranged relative to the WPQ (Section IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PcbArrangement {
     /// The paper's adopted design: partial updates first merge inside the
     /// PCB (searching every reserved entry), and only packed full blocks
@@ -89,7 +88,7 @@ impl PcbArrangement {
 }
 
 /// How much functional state the run maintains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FunctionalMode {
     /// Real AES ciphertexts and real MAC bytes in NVM. Required for crash
     /// and recovery testing; slower.
@@ -101,7 +100,7 @@ pub enum FunctionalMode {
 }
 
 /// Full machine configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Secure-memory organization.
     pub mode: Mode,

@@ -18,7 +18,8 @@ use thoth_nvm::{NvmDevice, WriteCategory};
 use thoth_sim_engine::{Cycle, EventQueue};
 use thoth_workloads::{MultiCoreTrace, TraceOp};
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use thoth_sim_engine::FastMap;
 
 /// Keys are fixed for reproducibility; a real system draws them at boot.
 const ENC_KEY: [u8; 16] = *b"thoth-enc-key..!";
@@ -52,7 +53,7 @@ pub struct SecureNvm {
     /// The paper's mechanism (Thoth modes only).
     thoth: Option<ThothEngine>,
     /// Per-data-block logical write version (the "application data").
-    data_versions: HashMap<u64, u64>,
+    data_versions: FastMap<u64, u64>,
     /// Ring of warm-up partial updates used to pre-fill the PUB.
     prefill_pool: Vec<PartialUpdate>,
     /// Thoth/after-WPQ: partial updates absorbed by pending WPQ entries.
@@ -125,7 +126,7 @@ impl SecureNvm {
             shadow: ShadowTracker::new(),
             shadow_writes_emitted: 0,
             thoth,
-            data_versions: HashMap::new(),
+            data_versions: FastMap::default(),
             prefill_pool: Vec::new(),
             pcb_wpq_bypass: 0,
             transactions: 0,
@@ -750,14 +751,20 @@ impl SecureNvm {
         let per_block = codec.entries_per_block();
         let pub_buf = engine.pub_buffer_mut();
         let mut cursor = 0usize;
+        // The prefill writes tens of thousands of blocks; reuse one set of
+        // buffers across all of them.
+        let mut updates: Vec<PartialUpdate> = Vec::with_capacity(per_block);
+        let mut image = vec![0u8; self.config.block_bytes];
         while !pub_buf.needs_eviction() {
-            let updates: Vec<PartialUpdate> = (0..per_block)
-                .map(|i| self.prefill_pool[(cursor + i) % self.prefill_pool.len()])
-                .collect();
+            updates.clear();
+            updates.extend(
+                (0..per_block).map(|i| self.prefill_pool[(cursor + i) % self.prefill_pool.len()]),
+            );
             cursor += per_block;
             let addr = pub_buf.allocate_tail();
+            codec.encode_into(&updates, &mut image);
             self.nvm
-                .write_block(addr, &codec.encode(&updates), WriteCategory::PubBlock);
+                .write_block(addr, &image, WriteCategory::PubBlock);
         }
     }
 
@@ -816,7 +823,7 @@ impl SecureNvm {
             total_cycles: cycles,
             transactions: self.transactions - snap.transactions,
             writes,
-            nvm_reads: self.nvm.stats().counter_value("nvm.timing.reads"),
+            nvm_reads: self.nvm.timed_reads(),
             wpq_inserts: wpq.inserts - snap.wpq.inserts,
             wpq_coalesced: wpq.coalesced - snap.wpq.coalesced,
             wpq_full_stalls: wpq.full_stalls - snap.wpq.full_stalls,

@@ -1,12 +1,11 @@
 //! Run reports: the numbers every figure and table are built from.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use thoth_core::EvictOutcome;
 use thoth_nvm::WriteCategory;
 
 /// Results of one simulated run (measured phase only).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimReport {
     /// Mode label (`baseline`, `thoth-wtsc`, ...).
     pub mode: String,
@@ -113,10 +112,89 @@ impl SimReport {
         }
         self.writes_total() as f64 / b as f64
     }
+
+    /// Order-stable 64-bit digest over **every** field (FNV-1a over a
+    /// canonical encoding; floats via `to_bits`, maps in `BTreeMap` key
+    /// order). Two reports digest equal iff they are bit-identical, so the
+    /// determinism tests and the perf harness can pin golden snapshots and
+    /// compare whole report matrices cheaply.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.str(&self.mode);
+        for v in [
+            self.total_cycles,
+            self.transactions,
+            self.nvm_reads,
+            self.wpq_inserts,
+            self.wpq_coalesced,
+            self.wpq_full_stalls,
+            self.wpq_stall_cycles,
+            self.pcb_inserts,
+            self.pcb_merged,
+            self.pcb_emitted,
+            self.pub_policy_persists,
+            self.pcb_wpq_bypass,
+            self.wear_blocks_touched,
+            self.wear_hottest_writes,
+        ] {
+            h.u64(v);
+        }
+        for (k, &v) in &self.writes {
+            h.str(k);
+            h.u64(v);
+        }
+        h.u64(self.writes.len() as u64);
+        for (k, &v) in &self.pub_evictions {
+            h.str(k);
+            h.u64(v);
+        }
+        h.u64(self.pub_evictions.len() as u64);
+        for f in [
+            self.ctr_cache_hit_rate,
+            self.mac_cache_hit_rate,
+            self.llc_hit_rate,
+            self.wear_mean_writes,
+        ] {
+            h.u64(f.to_bits());
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator backing [`SimReport::digest`]. Kept local so
+/// the digest's byte-level definition is pinned here, independent of any
+/// hash-map hasher the simulator uses internally.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Length-prefixed so `("ab","c")` and `("a","bc")` digest apart.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Results of a crash-recovery pass.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
     /// PUB blocks scanned.
     pub pub_blocks_scanned: u64,
@@ -190,6 +268,24 @@ mod tests {
         assert_eq!(r.ciphertext_write_fraction(), 0.0);
         assert_eq!(r.pcb_merge_fraction(), 0.0);
         assert_eq!(r.pub_outcome(EvictOutcome::StaleCopy), 0);
+    }
+
+    #[test]
+    fn digest_separates_field_changes() {
+        let base = report(60, 40, 1000);
+        assert_eq!(base.digest(), base.clone().digest());
+        let mut cycles = base.clone();
+        cycles.total_cycles += 1;
+        assert_ne!(base.digest(), cycles.digest());
+        let mut rate = base.clone();
+        rate.llc_hit_rate = 0.5;
+        assert_ne!(base.digest(), rate.digest());
+        let mut writes = base.clone();
+        writes.writes.insert("tree".into(), 1);
+        assert_ne!(base.digest(), writes.digest());
+        let mut label = base.clone();
+        label.mode = "other".into();
+        assert_ne!(base.digest(), label.digest());
     }
 
     #[test]

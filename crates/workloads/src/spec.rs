@@ -6,11 +6,10 @@
 
 use crate::runtime::{MultiCoreTrace, TxRuntime};
 use crate::{btree, ctree, hashmap, queue, rbtree, swap};
-use serde::{Deserialize, Serialize};
 use thoth_sim_engine::DetRng;
 
 /// The five benchmarks of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// B-tree (whole-node rewrites + blob values).
     Btree,
@@ -75,7 +74,7 @@ impl std::fmt::Display for WorkloadKind {
 }
 
 /// Configuration of one trace-generation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadConfig {
     /// Which benchmark.
     pub kind: WorkloadKind,

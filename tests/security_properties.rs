@@ -1,33 +1,27 @@
 //! Property-based security tests spanning the crypto, core and merkle
 //! crates: the invariants that make Thoth's crash consistency *secure*,
-//! exercised with proptest.
-
-use proptest::prelude::*;
+//! exercised with the deterministic thoth-testkit harness.
 
 use thoth_repro::core::{PartialUpdate, PubBlockCodec};
 use thoth_repro::crypto::counter::CounterGroup;
 use thoth_repro::crypto::{CtrMode, MacEngine, MacKey};
 use thoth_repro::merkle::{BonsaiTree, MerkleConfig};
+use thoth_testkit::{check, Gen};
 
-fn arb_update() -> impl Strategy<Value = PartialUpdate> {
-    (any::<u32>(), 0u8..128, any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
-        |(block_index, minor, mac2, ctr_status, mac_status)| PartialUpdate {
-            block_index,
-            minor,
-            mac2,
-            ctr_status,
-            mac_status,
-        },
-    )
+fn arb_update(g: &mut Gen) -> PartialUpdate {
+    PartialUpdate {
+        block_index: g.u64() as u32,
+        minor: g.below(128) as u8,
+        mac2: g.u64(),
+        ctr_status: g.bool(),
+        mac_status: g.bool(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pub_codec_roundtrips_any_entries(
-        updates in proptest::collection::vec(arb_update(), 1..=9)
-    ) {
+#[test]
+fn pub_codec_roundtrips_any_entries() {
+    check(64, |g| {
+        let updates = g.vec_of(1, 10, arb_update);
         let codec = PubBlockCodec::new(128);
         let mut decoded = codec.decode(&codec.encode(&updates));
         // Crash padding collapses *adjacent duplicates*; reinflate for
@@ -35,57 +29,61 @@ proptest! {
         let mut expect = updates.clone();
         expect.dedup();
         decoded.truncate(expect.len());
-        prop_assert_eq!(decoded, expect);
-    }
+        assert_eq!(decoded, expect);
+    });
+}
 
-    #[test]
-    fn ctr_mode_roundtrips_and_is_counter_sensitive(
-        addr in 0u64..(1 << 40),
-        major in any::<u64>(),
-        minor in 0u8..128,
-        data in proptest::collection::vec(any::<u8>(), 128..=128)
-    ) {
-        let ctr = CtrMode::new(b"prop-test-key..!");
+#[test]
+fn ctr_mode_roundtrips_and_is_counter_sensitive() {
+    let ctr = CtrMode::new(b"prop-test-key..!");
+    check(64, |g| {
+        let addr = g.below(1 << 40);
+        let major = g.u64();
+        let minor = g.below(128) as u8;
+        let data = g.byte_vec(128);
         let ct = ctr.encrypt(addr, major, minor, &data);
-        prop_assert_eq!(ctr.decrypt(addr, major, minor, &ct), data.clone());
+        assert_eq!(ctr.decrypt(addr, major, minor, &ct), data);
         let wrong = ctr.decrypt(addr, major, minor ^ 1, &ct);
-        prop_assert_ne!(wrong, data);
-    }
+        assert_ne!(wrong, data);
+    });
+}
 
-    #[test]
-    fn macs_bind_every_input(
-        addr in 0u64..(1 << 40),
-        major in any::<u64>(),
-        minor in 0u8..128,
-        data in proptest::collection::vec(any::<u8>(), 128..=128),
-        flip in 0usize..128
-    ) {
-        let eng = MacEngine::new(MacKey([7u8; 16]));
+#[test]
+fn macs_bind_every_input() {
+    let eng = MacEngine::new(MacKey([7u8; 16]));
+    check(64, |g| {
+        let addr = g.below(1 << 40);
+        let major = g.u64();
+        let minor = g.below(128) as u8;
+        let data = g.byte_vec(128);
+        let flip = g.range_usize(0, 128);
         let (first, second) = eng.both_levels(addr, major, minor, &data);
         let mut tampered = data.clone();
         tampered[flip] ^= 0x10;
         let (first2, second2) = eng.both_levels(addr, major, minor, &tampered);
-        prop_assert_ne!(first, first2);
-        prop_assert_ne!(second, second2);
-    }
+        assert_ne!(first, first2);
+        assert_ne!(second, second2);
+    });
+}
 
-    #[test]
-    fn counter_groups_roundtrip_after_any_increments(
-        increments in proptest::collection::vec(0usize..32, 0..300)
-    ) {
-        let mut g = CounterGroup::new(32);
+#[test]
+fn counter_groups_roundtrip_after_any_increments() {
+    check(64, |g| {
+        let increments = g.vec_of(0, 300, |g| g.range_usize(0, 32));
+        let mut grp = CounterGroup::new(32);
         for i in increments {
-            g.increment(i);
+            grp.increment(i);
         }
-        let back = CounterGroup::from_bytes(&g.to_bytes(), 32);
-        prop_assert_eq!(back, g);
-    }
+        let back = CounterGroup::from_bytes(&grp.to_bytes(), 32);
+        assert_eq!(back, grp);
+    });
+}
 
-    #[test]
-    fn merkle_root_depends_on_every_leaf(
-        leaves in proptest::collection::vec((0u64..512, any::<u64>()), 1..40),
-        tweak_idx in 0usize..40
-    ) {
+#[test]
+fn merkle_root_depends_on_every_leaf() {
+    check(64, |g| {
+        let leaves = g.vec_of(1, 40, |g| (g.below(512), g.u64()));
+        let tweak_idx = g.range_usize(0, 40);
         // Duplicate indices overwrite (last wins), so tweak the *final*
         // state of one leaf, not an intermediate update.
         let final_state: std::collections::BTreeMap<u64, u64> =
@@ -96,19 +94,20 @@ proptest! {
         let key = *tweaked.keys().nth(tweak_idx % tweaked.len()).unwrap();
         tweaked.insert(key, final_state[&key].wrapping_add(1));
         let b = BonsaiTree::from_leaves(cfg, 99, tweaked);
-        prop_assert_ne!(a.root(), b.root());
-    }
+        assert_ne!(a.root(), b.root());
+    });
+}
 
-    #[test]
-    fn merkle_verification_rejects_wrong_hashes(
-        index in 0u64..512,
-        value in 1u64..,
-    ) {
+#[test]
+fn merkle_verification_rejects_wrong_hashes() {
+    check(64, |g| {
+        let index = g.below(512);
+        let value = g.range(1, u64::MAX);
         let mut t = BonsaiTree::new(MerkleConfig::new(8, 512), 5);
         t.update_leaf(index, value);
-        prop_assert!(t.verify_leaf(index, value));
-        prop_assert!(!t.verify_leaf(index, value.wrapping_add(1)));
-    }
+        assert!(t.verify_leaf(index, value));
+        assert!(!t.verify_leaf(index, value.wrapping_add(1)));
+    });
 }
 
 #[test]
