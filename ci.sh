@@ -16,4 +16,7 @@ cargo test -q --locked
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets --locked -- -D warnings
 
+echo "== crashtest smoke (sampled crash points, all workloads) =="
+cargo run -q --release --locked -p thoth-experiments -- crashtest --quick
+
 echo "ci: all green"

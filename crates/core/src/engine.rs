@@ -39,6 +39,14 @@ pub trait ThothHost {
 
     /// Reads the PUB block at `addr` from NVM.
     fn read_pub_block(&mut self, addr: u64) -> Vec<u8>;
+
+    /// `true` once the host has injected a crash: the engine stops starting
+    /// new work (evictions) but always finishes the atomic transition in
+    /// flight, so volatile FIFO registers never disagree with the
+    /// persistence domain. Hosts without crash injection keep the default.
+    fn power_failed(&self) -> bool {
+        false
+    }
 }
 
 /// The Thoth mechanism: PCB + PUB + eviction policy.
@@ -111,10 +119,18 @@ impl ThothEngine {
         match self.pcb.insert(update) {
             PcbInsert::Merged | PcbInsert::Added => {}
             PcbInsert::Emit(block) => {
-                let addr = self.pub_buf.allocate_tail();
+                // PUB append is one atomic transition: write the packed
+                // block into the persistence path *then* advance the end
+                // register. A crash tap firing inside write_pub_block
+                // still sees the full transition complete — gating happens
+                // at the loop boundaries below, never mid-append.
+                let addr = self.pub_buf.peek_tail();
                 host.write_pub_block(addr, &self.codec.encode(&block));
-                while self.pub_buf.needs_eviction() {
-                    self.evict_one(host);
+                self.pub_buf.commit_tail();
+                while self.pub_buf.needs_eviction() && !host.power_failed() {
+                    if !self.evict_one(host) {
+                        break;
+                    }
                 }
             }
         }
@@ -122,12 +138,20 @@ impl ThothEngine {
 
     /// Evicts the oldest PUB block, classifying every entry and persisting
     /// the metadata blocks the policy requires.
-    fn evict_one(&mut self, host: &mut impl ThothHost) {
-        let Some(victim) = self.pub_buf.pop_oldest() else {
-            return;
+    ///
+    /// The victim is popped only after every entry is processed; if the
+    /// host's power fails partway through, the start register still points
+    /// at the victim and recovery re-merges it (persisting metadata is
+    /// idempotent). Returns `false` if the eviction was abandoned.
+    fn evict_one(&mut self, host: &mut impl ThothHost) -> bool {
+        let Some(victim) = self.pub_buf.peek_oldest() else {
+            return false;
         };
         let image = host.read_pub_block(victim);
         for e in self.codec.decode(&image) {
+            if host.power_failed() {
+                return false;
+            }
             for (kind, status) in [
                 (MetadataKind::Counter, e.ctr_status),
                 (MetadataKind::Mac, e.mac_status),
@@ -140,6 +164,9 @@ impl ThothEngine {
                 }
             }
         }
+        let popped = self.pub_buf.pop_oldest();
+        debug_assert_eq!(popped, Some(victim));
+        true
     }
 
     /// Crash: the ADR domain flushes each non-empty PCB slot to the PUB as
@@ -157,6 +184,13 @@ impl ThothEngine {
             let addr = self.pub_buf.allocate_tail();
             write(addr, &self.codec.encode(&slot));
         }
+    }
+
+    /// Snapshot of the PCB's buffered partial updates, oldest slot first
+    /// (see [`Pcb::pending`]).
+    #[must_use]
+    pub fn pcb_pending(&self) -> Vec<Vec<PartialUpdate>> {
+        self.pcb.pending()
     }
 
     /// Recovery scan order: every valid PUB block address, oldest first.

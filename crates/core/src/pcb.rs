@@ -169,6 +169,19 @@ impl Pcb {
         }
     }
 
+    /// Snapshot of every non-empty slot's contents, oldest first, without
+    /// disturbing the PCB. Crash-injection hosts use this to know which
+    /// partial updates were already inside the persistence domain at the
+    /// crash instant.
+    #[must_use]
+    pub fn pending(&self) -> Vec<Vec<PartialUpdate>> {
+        self.slots
+            .iter()
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .collect()
+    }
+
     /// Crash: the ADR domain flushes each non-empty slot as one padded PUB
     /// block. Returns the slots' contents, oldest first, and empties the
     /// PCB.

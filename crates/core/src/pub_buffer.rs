@@ -175,14 +175,53 @@ impl PubBuffer {
     /// [`Self::needs_eviction`] reports true, which (with a threshold
     /// below 100%) always happens well before this.
     pub fn allocate_tail(&mut self) -> u64 {
+        let addr = self.peek_tail();
+        self.commit_tail();
+        addr
+    }
+
+    /// The NVM address the next packed block would be written to, without
+    /// advancing the *end* register. Appends that must be crash-atomic
+    /// write the block here first and call [`Self::commit_tail`] only once
+    /// the write is in the persistence domain — a crash in between leaves
+    /// the FIFO registers untouched, so the half-written slot is simply
+    /// never scanned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is completely full (see [`Self::allocate_tail`]).
+    #[must_use]
+    pub fn peek_tail(&self) -> u64 {
         assert!(
             self.len < self.capacity_blocks(),
             "PUB overflow: eviction did not keep up"
         );
-        let addr = self.addr_of(self.head + self.len);
+        self.addr_of(self.head + self.len)
+    }
+
+    /// Advances the *end* register over the slot returned by
+    /// [`Self::peek_tail`], making the block visible to eviction and the
+    /// recovery scan.
+    pub fn commit_tail(&mut self) {
+        assert!(
+            self.len < self.capacity_blocks(),
+            "PUB overflow: eviction did not keep up"
+        );
         self.len += 1;
         self.stats.blocks_appended += 1;
-        addr
+    }
+
+    /// The NVM address of the oldest block without consuming it. Eviction
+    /// reads and fully processes the block through this, then calls
+    /// [`Self::pop_oldest`] — so a crash mid-eviction leaves the *start*
+    /// register pointing at the unprocessed block and recovery re-scans it
+    /// (merging is idempotent).
+    #[must_use]
+    pub fn peek_oldest(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.addr_of(self.head))
     }
 
     /// Pops the oldest block, returning its NVM address for the caller to
@@ -301,6 +340,31 @@ mod tests {
         pb.allocate_tail();
         pb.allocate_tail();
         pb.allocate_tail();
+    }
+
+    #[test]
+    fn peek_then_commit_matches_allocate() {
+        let mut pb = small(4, 100);
+        let peeked = pb.peek_tail();
+        assert_eq!(pb.len_blocks(), 0, "peek does not advance the end register");
+        assert_eq!(pb.peek_tail(), peeked, "peek is idempotent");
+        pb.commit_tail();
+        assert_eq!(pb.len_blocks(), 1);
+        assert_eq!(pb.scan_oldest_to_youngest(), vec![peeked]);
+        assert_eq!(pb.allocate_tail(), 0x10_080, "next slot follows");
+    }
+
+    #[test]
+    fn peek_oldest_does_not_consume() {
+        let mut pb = small(4, 100);
+        assert_eq!(pb.peek_oldest(), None);
+        pb.allocate_tail();
+        pb.allocate_tail();
+        assert_eq!(pb.peek_oldest(), Some(0x10_000));
+        assert_eq!(pb.peek_oldest(), Some(0x10_000), "peek is idempotent");
+        assert_eq!(pb.len_blocks(), 2);
+        assert_eq!(pb.pop_oldest(), Some(0x10_000));
+        assert_eq!(pb.peek_oldest(), Some(0x10_080));
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Deterministic crash-injection sweeps and recovery auditing.
+//!
+//! The simulator can kill itself at any enumerated crash point
+//! (`thoth-sim`'s [`thoth_sim::CrashPlan`]) and recover per Section IV-D
+//! of the paper. This crate is the *oracle* around that machinery:
+//!
+//! * [`shadow`] — a golden shadow heap replaying the machine's log of
+//!   durably-ACKed operations, independent of the machine's own state,
+//! * [`audit`] — the recovery audit: root verification, per-block MAC
+//!   authentication, decrypted-content equality against the shadow heap,
+//!   and committed/in-flight transaction classification,
+//! * [`sweep`] — the crash-sweep engine: enumerate the crash points a
+//!   workload exposes, sample them reproducibly, run
+//!   crash → recover → audit for each, and minimize any failure to the
+//!   earliest failing ordinal.
+//!
+//! The sweep is seeded end to end: the same seed and workload produce the
+//! same sampled crash points, the same fault choices, and the same
+//! verdicts, so `workload=btree seed=0xC0FFEE point=persist:117` is a
+//! complete reproduction recipe.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod shadow;
+pub mod sweep;
+
+pub use audit::{audit_recovery, AuditReport};
+pub use shadow::ShadowHeap;
+pub use sweep::{oracle_selftest, run_case, sweep_workload, CaseResult, SweepConfig, SweepResult};

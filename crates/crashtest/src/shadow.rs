@@ -1,0 +1,160 @@
+//! The golden shadow heap.
+//!
+//! [`ShadowHeap`] replays the machine's execution-order log of
+//! durably-ACKed operations ([`LoggedOp`]) with its own bookkeeping —
+//! nothing is read back from the machine — so after a crash it is an
+//! independent statement of what the persistence contract promised:
+//!
+//! * every ACKed store is durable (the WPQ/PCB acceptance *is* the persist
+//!   ACK in this model), so the recovered content of a block must be its
+//!   **latest** ACKed version, and
+//! * a transaction is **committed** once its core's commit barrier passed;
+//!   stores after the last commit are *in-flight* — durable per the ADR
+//!   contract, but not yet transactionally committed.
+
+use thoth_sim::LoggedOp;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Independent replay of the durably-ACKed operation log.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowHeap {
+    /// Latest durably-ACKed version per block index.
+    latest: BTreeMap<u64, u64>,
+    /// Highest transactionally-committed version per block index.
+    committed: BTreeMap<u64, u64>,
+}
+
+impl ShadowHeap {
+    /// Replays `log` in order, tracking per-block versions and per-core
+    /// open transactions.
+    #[must_use]
+    pub fn replay(log: &[LoggedOp]) -> Self {
+        let mut latest: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut open: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        for op in log {
+            match *op {
+                LoggedOp::Store { core, block } => {
+                    let v = latest.entry(block).or_insert(0);
+                    *v += 1;
+                    open.entry(core).or_default().push((block, *v));
+                }
+                LoggedOp::Commit { core } => {
+                    for (block, v) in open.remove(&core).unwrap_or_default() {
+                        let c = committed.entry(block).or_insert(0);
+                        *c = (*c).max(v);
+                    }
+                }
+            }
+        }
+        ShadowHeap { latest, committed }
+    }
+
+    /// Latest durably-ACKed version of `block`, if ever stored.
+    #[must_use]
+    pub fn latest_version(&self, block: u64) -> Option<u64> {
+        self.latest.get(&block).copied()
+    }
+
+    /// Highest committed version of `block` (0 = stored but never inside a
+    /// completed transaction).
+    #[must_use]
+    pub fn committed_version(&self, block: u64) -> u64 {
+        self.committed.get(&block).copied().unwrap_or(0)
+    }
+
+    /// `(block, latest_version)` for every stored block, ascending.
+    pub fn blocks(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.latest.iter().map(|(&b, &v)| (b, v))
+    }
+
+    /// Number of distinct blocks ever stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// `true` if nothing was ever stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    /// Blocks whose latest version is fully committed.
+    #[must_use]
+    pub fn committed_blocks(&self) -> u64 {
+        self.blocks()
+            .filter(|&(b, v)| self.committed_version(b) == v)
+            .count() as u64
+    }
+
+    /// Blocks with durable stores beyond their last committed version
+    /// (in-flight transaction work at the crash instant).
+    #[must_use]
+    pub fn inflight_blocks(&self) -> u64 {
+        self.blocks()
+            .filter(|&(b, v)| self.committed_version(b) < v)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(core: usize, block: u64) -> LoggedOp {
+        LoggedOp::Store { core, block }
+    }
+
+    fn c(core: usize) -> LoggedOp {
+        LoggedOp::Commit { core }
+    }
+
+    #[test]
+    fn versions_count_per_block() {
+        let h = ShadowHeap::replay(&[s(0, 5), s(0, 5), s(0, 9), c(0)]);
+        assert_eq!(h.latest_version(5), Some(2));
+        assert_eq!(h.latest_version(9), Some(1));
+        assert_eq!(h.latest_version(7), None);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn commit_covers_only_the_open_transaction() {
+        let h = ShadowHeap::replay(&[s(0, 1), c(0), s(0, 1), s(0, 2)]);
+        assert_eq!(h.latest_version(1), Some(2));
+        assert_eq!(h.committed_version(1), 1, "second store uncommitted");
+        assert_eq!(h.committed_version(2), 0);
+        assert_eq!(h.committed_blocks(), 0);
+        assert_eq!(h.inflight_blocks(), 2);
+    }
+
+    #[test]
+    fn cores_commit_independently() {
+        let h = ShadowHeap::replay(&[s(0, 1), s(1, 2), c(1), s(0, 3)]);
+        assert_eq!(h.committed_version(2), 1, "core 1 committed");
+        assert_eq!(h.committed_version(1), 0, "core 0 still open");
+        assert_eq!(h.committed_blocks(), 1);
+        assert_eq!(h.inflight_blocks(), 2);
+    }
+
+    #[test]
+    fn interleaved_versions_commit_at_the_right_value() {
+        // Core 0 stores block 7 (v1), core 1 stores block 7 (v2), core 0
+        // commits: only v1 is committed by core 0's barrier.
+        let h = ShadowHeap::replay(&[s(0, 7), s(1, 7), c(0)]);
+        assert_eq!(h.latest_version(7), Some(2));
+        assert_eq!(h.committed_version(7), 1);
+        let h2 = ShadowHeap::replay(&[s(0, 7), s(1, 7), c(0), c(1)]);
+        assert_eq!(h2.committed_version(7), 2);
+    }
+
+    #[test]
+    fn empty_log_is_empty() {
+        let h = ShadowHeap::replay(&[]);
+        assert!(h.is_empty());
+        assert_eq!(h.committed_blocks(), 0);
+        assert_eq!(h.inflight_blocks(), 0);
+    }
+}

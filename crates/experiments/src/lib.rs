@@ -15,6 +15,7 @@
 //! | Figure 11 | [`cachesweep`] | speedup vs metadata cache size |
 //! | Figure 12 | [`wpqsweep`] | speedup vs WPQ size |
 //! | §IV-D | [`recovery`] | crash-recovery correctness + time model |
+//! | §IV-D | [`crashtest`] | crash-injection sweep + recovery audit |
 //! | (extensions) | [`ablation`] | PUB/PCB knobs, PCB arrangement, eADR |
 //! | (extensions) | [`lifetime`] | write totals + wear concentration per mode |
 //!
@@ -25,6 +26,7 @@
 
 pub mod ablation;
 pub mod cachesweep;
+pub mod crashtest;
 pub mod fig3;
 pub mod headline;
 pub mod lifetime;

@@ -4,7 +4,8 @@
 //! thoth-experiments [EXPERIMENT ...] [--scale F] [--quick] [--csv DIR]
 //!
 //! EXPERIMENT: fig3 | headline | fig8 | fig9 | fig10 | table2 | table3 |
-//!             fig11 | fig12 | anubis | recovery | all   (default: all)
+//!             fig11 | fig12 | anubis | recovery | crashtest | all
+//!             (default: all)
 //! --scale F   transaction-count scale factor (default 0.25)
 //! --seed N    workload RNG seed
 //! --quick     tiny smoke-test scale (0.02)
@@ -13,7 +14,9 @@
 
 use thoth_experiments::runner::ExpSettings;
 use thoth_experiments::tablefmt::Table;
-use thoth_experiments::{ablation, cachesweep, fig3, headline, lifetime, perf, recovery, txsweep, wpqsweep};
+use thoth_experiments::{
+    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, recovery, txsweep, wpqsweep,
+};
 
 use std::path::PathBuf;
 
@@ -22,6 +25,8 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut scale_given = false;
+    let mut quick = false;
+    let mut point: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,7 +36,13 @@ fn main() {
                 settings.scale = v.parse().expect("--scale takes a float");
                 scale_given = true;
             }
-            "--quick" => settings = ExpSettings::quick(),
+            "--quick" => {
+                settings = ExpSettings::quick();
+                quick = true;
+            }
+            "--point" => {
+                point = Some(args.next().expect("--point needs WORKLOAD:SITE:N"));
+            }
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
                 settings.seed = v.parse().expect("--seed takes a u64");
@@ -88,6 +99,23 @@ fn main() {
                 }
                 emit(perf::run(s), "perf");
             }
+            "crashtest" => {
+                // Crash sweeps default to the quick trace scale so each
+                // sampled point replays quickly; --scale overrides.
+                let mut s = settings;
+                if !scale_given {
+                    s.scale = ExpSettings::quick().scale;
+                }
+                let out = match &point {
+                    Some(spec) => crashtest::run_point(s, spec),
+                    None => crashtest::run(s, quick),
+                };
+                emit(out.tables, "crashtest");
+                if !out.ok {
+                    eprintln!("crashtest: FAILED (see reproduction recipe above)");
+                    std::process::exit(1);
+                }
+            }
             "ablation" => emit(ablation::run(settings), "ablation"),
             "lifetime" => emit(lifetime::run(settings), "lifetime"),
             "all" => {}
@@ -125,6 +153,9 @@ EXPERIMENTS:
   recovery  Section IV-D — crash recovery + time model
   perf      perf-trajectory harness: wall-clock + persists/s per mode,
             writes results/BENCH_perf.json (quick scale unless --scale)
+  crashtest crash-injection sweep + recovery audit across all workloads,
+            writes results/crashtest.json; exits non-zero on any failing
+            crash point (quick scale unless --scale)
   ablation  PUB/PCB design-space sweeps, PCB arrangement, eADR
   lifetime  NVM write totals + wear concentration per mode
   all       everything above (default)
@@ -133,4 +164,7 @@ OPTIONS:
   --scale F  transaction-count scale factor (default 0.25)
   --quick    tiny smoke-test scale
   --seed N   workload RNG seed (default 0xC0FFEE)
-  --csv DIR  also write each table as CSV into DIR";
+  --csv DIR  also write each table as CSV into DIR
+  --point WORKLOAD:SITE:N
+             (crashtest only) replay one crash point, e.g.
+             btree:persist:117 — the recipe printed on sweep failure";

@@ -178,6 +178,50 @@ impl NvmDevice {
         self.writes_by_cat[category.index()] += 1;
     }
 
+    /// Writes only the first `prefix_bytes` of a block — the torn-write
+    /// fault model (see [`crate::fault`]): power failed after a prefix of
+    /// 64 B units persisted. The rest of the block keeps its old contents
+    /// (zeros if never written). A zero-length prefix still counts as a
+    /// write attempt for accounting, but changes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not one full block, `prefix_bytes` exceeds the
+    /// block or is not a multiple of [`crate::fault::TORN_WRITE_UNIT`],
+    /// or `addr` is out of range.
+    pub fn write_block_torn(
+        &mut self,
+        addr: u64,
+        data: &[u8],
+        prefix_bytes: usize,
+        category: WriteCategory,
+    ) {
+        self.check_range(addr);
+        assert_eq!(
+            data.len(),
+            self.config.block_bytes,
+            "torn write must start from one full block"
+        );
+        assert!(
+            prefix_bytes <= self.config.block_bytes,
+            "torn prefix exceeds the block"
+        );
+        assert!(
+            prefix_bytes.is_multiple_of(crate::fault::TORN_WRITE_UNIT),
+            "torn prefix must be whole {} B units",
+            crate::fault::TORN_WRITE_UNIT
+        );
+        let block = self.align(addr);
+        let block_bytes = self.config.block_bytes;
+        let img = self
+            .blocks
+            .entry(block)
+            .or_insert_with(|| vec![0u8; block_bytes].into());
+        img[..prefix_bytes].copy_from_slice(&data[..prefix_bytes]);
+        self.wear.record(block);
+        self.writes_by_cat[category.index()] += 1;
+    }
+
     /// Records a write for accounting/wear without storing bytes.
     ///
     /// Fast timing-only simulations use this when functional contents are
@@ -412,6 +456,41 @@ mod tests {
         assert_eq!(d.earliest_start(Cycle(0), 0), Cycle(2000));
         assert_eq!(d.earliest_start(Cycle(3000), 0), Cycle(3000));
         assert_eq!(d.earliest_start(Cycle(0), 128), Cycle(0));
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let mut d = dev();
+        d.write_block(0, &[0x11; 128], WriteCategory::Data);
+        d.write_block_torn(0, &[0x22; 128], 64, WriteCategory::Data);
+        let img = d.read_block(0);
+        assert_eq!(&img[..64], &[0x22; 64][..]);
+        assert_eq!(&img[64..], &[0x11; 64][..], "tail keeps old contents");
+        assert_eq!(d.writes_in(WriteCategory::Data), 2, "torn write still counted");
+    }
+
+    #[test]
+    fn torn_write_with_zero_prefix_changes_nothing() {
+        let mut d = dev();
+        d.write_block(0, &[0x11; 128], WriteCategory::Data);
+        d.write_block_torn(0, &[0x22; 128], 0, WriteCategory::Data);
+        assert_eq!(d.read_block(0), vec![0x11; 128]);
+    }
+
+    #[test]
+    fn torn_write_to_untouched_block_leaves_zero_tail() {
+        let mut d = dev();
+        d.write_block_torn(0x4000, &[0x33; 128], 64, WriteCategory::CounterBlock);
+        let img = d.read_block(0x4000);
+        assert_eq!(&img[..64], &[0x33; 64][..]);
+        assert_eq!(&img[64..], &[0u8; 64][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 64 B units")]
+    fn torn_write_rejects_unaligned_prefix() {
+        let mut d = dev();
+        d.write_block_torn(0, &[0; 128], 17, WriteCategory::Data);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Crash-time fault models (torn writes, dropped flushes, bit flips).
+//!
+//! Thoth's ADR contract promises that everything the WPQ/PCB accepted
+//! reaches NVM intact when power fails. These fault models deliberately
+//! *violate* that contract — they simulate broken platforms (residual
+//! power running out mid-write, a non-ADR write queue, media bit rot at
+//! the crash instant) so the crash-audit oracle can prove that such
+//! corruption never goes unnoticed: recovery must fail authentication or
+//! root verification, never silently accept the damage.
+//!
+//! Everything is gated behind [`FaultConfig`]; with the default (all-off)
+//! configuration every code path is bit-identical to the fault-free
+//! simulator, which the golden-digest tests pin.
+
+/// Crash-time fault injection knobs. `Default` disables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Torn 64 B-granular block writes: each uncommitted WPQ payload that
+    /// the crash flush would persist writes only a seeded prefix of its
+    /// 64 B units (possibly none), leaving the rest of the block at its
+    /// old contents.
+    pub torn_crash_writes: bool,
+    /// Non-ADR WPQ: uncommitted entries are dropped at the crash instead
+    /// of being flushed (models a platform without an ADR guarantee).
+    pub drop_uncommitted_wpq: bool,
+    /// Number of seeded single-bit flips injected into resident blocks of
+    /// the PUB/counter/MAC regions after the crash flush.
+    pub crash_bit_flips: u32,
+    /// Seed for every random choice the fault models make (torn prefix
+    /// lengths, flip targets) — same seed, same faults.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// `true` if any fault model is enabled.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.torn_crash_writes || self.drop_uncommitted_wpq || self.crash_bit_flips > 0
+    }
+}
+
+/// The write-atomicity unit of the torn-write model: NVM media persists
+/// 64 B chunks atomically; a block write interrupted by power loss leaves
+/// a prefix of complete chunks.
+pub const TORN_WRITE_UNIT: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inactive() {
+        assert!(!FaultConfig::default().is_active());
+    }
+
+    #[test]
+    fn each_knob_activates() {
+        assert!(FaultConfig { torn_crash_writes: true, ..FaultConfig::default() }.is_active());
+        assert!(FaultConfig { drop_uncommitted_wpq: true, ..FaultConfig::default() }.is_active());
+        assert!(FaultConfig { crash_bit_flips: 1, ..FaultConfig::default() }.is_active());
+        assert!(!FaultConfig { seed: 7, ..FaultConfig::default() }.is_active());
+    }
+}

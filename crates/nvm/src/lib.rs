@@ -22,8 +22,10 @@
 
 pub mod category;
 pub mod device;
+pub mod fault;
 pub mod wear;
 
 pub use category::WriteCategory;
 pub use device::{NvmConfig, NvmDevice};
+pub use fault::FaultConfig;
 pub use wear::WearTracker;

@@ -1,7 +1,7 @@
 //! Development tool: finds which counter-block leaves mismatch after
 //! crash recovery.
 
-use thoth_sim::{FunctionalMode, Mode, SecureNvm, SimConfig};
+use thoth_sim::{CrashDiagnostics, FunctionalMode, Mode, SecureNvm, SimConfig};
 use thoth_workloads::{spec, WorkloadConfig, WorkloadKind};
 
 fn main() {
@@ -19,7 +19,12 @@ fn main() {
     m.crash();
     let rec = m.recover();
     println!("root_ok={} merged={} stale={} bad={}", rec.root_verified, rec.entries_merged, rec.entries_stale, rec.blocks_failed);
-    m.debug_leaf_mismatches();
+    let diag = CrashDiagnostics {
+        crash_point: None,
+        leaf_mismatches: m.leaf_mismatches(),
+        mac_mismatches: Vec::new(),
+    };
+    print!("{diag}");
     // Compare the pre-crash cache truth against the recovered NVM image.
     let bad_cb = 0x4002ae000u64;
     for (addr, img, dirty, mask) in &snapshot {

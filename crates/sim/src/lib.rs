@@ -24,11 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crash;
+pub mod diagnostics;
 pub mod layout;
 pub mod machine;
 pub mod report;
 
 pub use config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
+pub use crash::{CrashControl, CrashPlan, CrashSiteCounts, CrashSiteKind, LoggedOp};
+pub use diagnostics::{byte_digest, CrashDiagnostics, LeafMismatch, MacMismatch};
 pub use layout::MemoryLayout;
 pub use machine::SecureNvm;
 pub use report::{RecoveryReport, SimReport};

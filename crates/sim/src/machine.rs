@@ -2,6 +2,8 @@
 //! PUB and the NVM device, replaying workload traces.
 
 use crate::config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
+use crate::crash::{CrashControl, CrashPlan, CrashSiteCounts, CrashSiteKind, LoggedOp};
+use crate::diagnostics::{byte_digest, LeafMismatch, MacMismatch};
 use crate::layout::MemoryLayout;
 use crate::report::{RecoveryReport, SimReport};
 
@@ -14,8 +16,8 @@ use thoth_crypto::counter::CounterGroup;
 use thoth_crypto::{CtrMode, MacEngine, MacKey};
 use thoth_memctrl::{Wpq, WpqConfig, WpqStats};
 use thoth_merkle::{BonsaiTree, MerkleConfig, ShadowTracker};
-use thoth_nvm::{NvmDevice, WriteCategory};
-use thoth_sim_engine::{Cycle, EventQueue};
+use thoth_nvm::{FaultConfig, NvmDevice, WriteCategory};
+use thoth_sim_engine::{Cycle, DetRng, EventQueue};
 use thoth_workloads::{MultiCoreTrace, TraceOp};
 
 use std::collections::BTreeMap;
@@ -59,6 +61,11 @@ pub struct SecureNvm {
     /// Thoth/after-WPQ: partial updates absorbed by pending WPQ entries.
     pcb_wpq_bypass: u64,
     transactions: u64,
+    /// Armed (or observing) crash trigger; `None` in normal runs.
+    crash_ctl: Option<CrashControl>,
+    /// Execution-order log of durably-ACKed operations, kept only while a
+    /// crash run wants an external oracle to replay them.
+    op_log: Option<Vec<LoggedOp>>,
 }
 
 /// Per-core replay cursor.
@@ -130,6 +137,8 @@ impl SecureNvm {
             prefill_pool: Vec::new(),
             pcb_wpq_bypass: 0,
             transactions: 0,
+            crash_ctl: None,
+            op_log: None,
             config,
         }
     }
@@ -501,6 +510,7 @@ impl SecureNvm {
             shadow,
             shadow_writes_emitted,
             config,
+            crash_ctl,
             ..
         } = self;
         let mut host = MachineHost {
@@ -515,6 +525,7 @@ impl SecureNvm {
             mac,
             shadow,
             shadow_writes_emitted,
+            crash_ctl: crash_ctl.as_mut(),
         };
         thoth.as_mut().expect("Thoth mode").insert(pu, &mut host);
         now
@@ -711,18 +722,43 @@ impl SecureNvm {
                     let mut t = now;
                     for block in self.blocks_spanned(addr, len) {
                         self.llc.insert(block, ());
+                        // The store completes atomically — even if a crash
+                        // tap fires inside it, its persist was ACKed, so it
+                        // is logged as durable; we just never start the
+                        // next block.
                         ack = ack.max(self.store_block(t, block));
                         t += self.config.compute_gap_cycles;
+                        let index = self.layout.block_index(block);
+                        if let Some(log) = self.op_log.as_mut() {
+                            log.push(LoggedOp::Store { core: ci, block: index });
+                        }
+                        if let Some(ctl) = self.crash_ctl.as_mut() {
+                            ctl.tap(CrashSiteKind::Persist);
+                            if ctl.fired() {
+                                break;
+                            }
+                        }
                     }
                     cores[ci].pending_ack = ack;
                     cores[ci].time = t;
+                    if let Some(ctl) = self.crash_ctl.as_mut() {
+                        if !ctl.fired() {
+                            ctl.tap(CrashSiteKind::Store);
+                        }
+                    }
                 }
                 TraceOp::Commit => {
                     cores[ci].time = now.max(cores[ci].pending_ack);
                     cores[ci].pending_ack = Cycle::ZERO;
                     cores[ci].txs_done += 1;
                     self.transactions += 1;
+                    if let Some(log) = self.op_log.as_mut() {
+                        log.push(LoggedOp::Commit { core: ci });
+                    }
                 }
+            }
+            if self.crash_ctl.as_ref().is_some_and(CrashControl::fired) {
+                return; // power is gone: no core issues anything further
             }
             if ready(&cores[ci], ci) {
                 queue.schedule(cores[ci].time, ci);
@@ -845,6 +881,67 @@ impl SecureNvm {
     }
 
     // ------------------------------------------------------------------
+    // Crash injection (thoth-crashtest drives these)
+    // ------------------------------------------------------------------
+
+    /// Replays the whole trace (warm-up included, no phase split) in
+    /// observer mode, returning how many crash-anchor events of each kind
+    /// the workload exposes — the population the crash sweep samples from.
+    pub fn enumerate_crash_sites(&mut self, trace: &MultiCoreTrace) -> CrashSiteCounts {
+        self.crash_ctl = Some(CrashControl::observer());
+        let mut cores = Self::fresh_cores(trace);
+        self.replay(trace, &mut cores, None);
+        self.crash_ctl.take().expect("just set").counts()
+    }
+
+    /// Replays the trace until the planned crash point fires, logging every
+    /// durably-ACKed operation for an external oracle
+    /// ([`Self::take_op_log`]). Returns `false` if the trace finished
+    /// before the planned event occurred (the crash never happened).
+    ///
+    /// Call [`Self::crash_with`] (or [`Self::crash`]) next to take the
+    /// machine down at the reached point.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside [`FunctionalMode::Full`] — auditing needs real bytes.
+    pub fn run_to_crash(&mut self, trace: &MultiCoreTrace, plan: CrashPlan) -> bool {
+        assert!(
+            self.config.functional == FunctionalMode::Full,
+            "crash testing requires FunctionalMode::Full"
+        );
+        self.crash_ctl = Some(CrashControl::armed(plan));
+        self.op_log = Some(Vec::new());
+        let mut cores = Self::fresh_cores(trace);
+        self.replay(trace, &mut cores, None);
+        self.crash_ctl.as_ref().is_some_and(CrashControl::fired)
+    }
+
+    fn fresh_cores(trace: &MultiCoreTrace) -> Vec<CoreState> {
+        (0..trace.cores.len())
+            .map(|_| CoreState {
+                time: Cycle::ZERO,
+                pending_ack: Cycle::ZERO,
+                idx: 0,
+                txs_done: 0,
+                done: false,
+            })
+            .collect()
+    }
+
+    /// The durably-ACKed operation log of the last [`Self::run_to_crash`],
+    /// in execution order. Empty if no crash run logged anything.
+    pub fn take_op_log(&mut self) -> Vec<LoggedOp> {
+        self.op_log.take().unwrap_or_default()
+    }
+
+    /// The crash plan currently armed, if any.
+    #[must_use]
+    pub fn crash_plan(&self) -> Option<CrashPlan> {
+        self.crash_ctl.as_ref().and_then(CrashControl::plan)
+    }
+
+    // ------------------------------------------------------------------
     // Crash & recovery (Section IV-D)
     // ------------------------------------------------------------------
 
@@ -852,6 +949,14 @@ impl SecureNvm {
     /// NVM, every volatile structure is lost. The integrity-tree root and
     /// the PUB start/end registers survive (persistent registers).
     pub fn crash(&mut self) {
+        self.crash_with(&FaultConfig::default());
+    }
+
+    /// [`Self::crash`] under a fault model: the WPQ flush honors the torn
+    /// and drop faults, and `crash_bit_flips` seeded single-bit flips land
+    /// in resident counter/MAC/PUB-region blocks after the flush. With the
+    /// default config this is bit-identical to [`Self::crash`].
+    pub fn crash_with(&mut self, faults: &FaultConfig) {
         // eADR: residual power flushes every dirty cache line to NVM
         // before the volatile state is lost.
         if matches!(self.config.mode, Mode::Eadr) {
@@ -874,12 +979,33 @@ impl SecureNvm {
                 self.nvm.write_block(a, &img, WriteCategory::MacBlock);
             }
         }
-        self.wpq.crash_flush(&mut self.nvm);
+        self.wpq.crash_flush_with(&mut self.nvm, faults);
         if let Some(engine) = self.thoth.as_mut() {
             let nvm = &mut self.nvm;
             engine.crash_flush(|addr, image| {
                 nvm.write_block(addr, image, WriteCategory::PubBlock);
             });
+        }
+        // Media bit rot at the crash instant: seeded single-bit flips in
+        // resident blocks of the counter, MAC and PUB regions. These are
+        // the corruptions recovery must *detect*, never absorb.
+        if faults.crash_bit_flips > 0 {
+            let mut rng = DetRng::seed_from(faults.seed ^ 0xB17F_11B5_0C8A_51F0);
+            let mut targets = self
+                .nvm
+                .block_addrs_in(self.layout.ctr_base, self.layout.tree_base);
+            targets.extend(
+                self.nvm
+                    .block_addrs_in(self.layout.pub_base, self.layout.shadow_base),
+            );
+            if !targets.is_empty() {
+                for _ in 0..faults.crash_bit_flips {
+                    let block = targets[rng.gen_index(targets.len())];
+                    let byte = rng.gen_range(self.config.block_bytes as u64);
+                    let bit = rng.gen_range(8) as u8;
+                    self.nvm.tamper(block + byte, 1 << bit);
+                }
+            }
         }
         // Volatile state is gone. Note: the logical tree stays as the
         // holder of the persistent *root register* only; recovery rebuilds
@@ -980,6 +1106,9 @@ impl SecureNvm {
                 report.blocks_failed += 1;
             }
         }
+
+        // The machine is alive again.
+        self.wpq.power_restore();
         report
     }
 
@@ -993,35 +1122,105 @@ impl SecureNvm {
             .collect()
     }
 
-    /// Diagnostic: prints counter-block leaves whose NVM image hash
-    /// differs from the logical tree's current leaf hash. Development
-    /// tool for recovery debugging; not part of the recovery algorithm.
-    #[doc(hidden)]
-    pub fn debug_leaf_mismatches(&self) {
+    /// Counter-block leaves whose persisted NVM image hashes differently
+    /// from the logical tree's current leaf value — structured diagnostics
+    /// shared by the recovery auditor and the debugging tools. Not part of
+    /// the recovery algorithm itself.
+    #[must_use]
+    pub fn leaf_mismatches(&self) -> Vec<LeafMismatch> {
         let ctr_blocks = self
             .nvm
             .block_addrs_in(self.layout.ctr_base, self.layout.mac_base);
-        let mut bad = 0;
+        let mut out = Vec::new();
         for cb in ctr_blocks {
             let img = self.nvm.read_block(cb);
             let leaf = self.layout.tree_leaf(cb);
-            let got = self.tree.leaf_hash_of(cb, &img);
-            let want = self.tree.hash_of(thoth_merkle::NodeId { level: 0, index: leaf });
-            if got != want {
-                bad += 1;
-                if bad <= 5 {
-                    let groups = self.layout.ctr_geometry.unpack(&img);
-                    println!(
-                        "leaf {leaf} cb={cb:#x} mismatch; majors={:?} minors[0..8]={:?}",
-                        groups.iter().map(|g| g.major()).collect::<Vec<_>>(),
-                        (0..8)
-                            .map(|i| groups[0].value_of(i).1)
-                            .collect::<Vec<_>>(),
-                    );
-                }
+            let actual = self.tree.leaf_hash_of(cb, &img);
+            let expected = self.tree.hash_of(thoth_merkle::NodeId { level: 0, index: leaf });
+            if actual != expected {
+                out.push(LeafMismatch {
+                    leaf,
+                    counter_block: cb,
+                    expected,
+                    actual,
+                });
             }
         }
-        println!("mismatched leaves: {bad}");
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery-audit accessors (the external oracle's view)
+    // ------------------------------------------------------------------
+
+    /// Every data block ever written, as `(block_index, logical_version)`,
+    /// ascending by index.
+    #[must_use]
+    pub fn written_blocks(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .data_versions
+            .iter()
+            .map(|(&i, &v)| (i, v))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The deterministic application plaintext of `block_index` at
+    /// `version` — what a durable store of that version wrote.
+    #[must_use]
+    pub fn expected_plaintext(&self, block_index: u64, version: u64) -> Vec<u8> {
+        self.plaintext(self.layout.block_addr(block_index), version)
+    }
+
+    /// Decrypts the *persisted* ciphertext of `block_index` under the
+    /// *persisted* counter — the bytes an application would read back
+    /// after recovery.
+    #[must_use]
+    pub fn decrypt_persisted(&self, block_index: u64) -> Vec<u8> {
+        let addr = self.layout.block_addr(block_index);
+        let (cb, group, slot) = self.layout.ctr_location(block_index);
+        let groups = self.layout.ctr_geometry.unpack(&self.nvm.read_block(cb));
+        let (major, minor) = groups[group].value_of(slot);
+        let ct = self.nvm.read_block(addr);
+        self.ctr_mode.decrypt(addr, major, minor, &ct)
+    }
+
+    /// Authenticates the persisted ciphertext of `block_index` against the
+    /// persisted counter and MAC blocks (first-level MAC check over NVM
+    /// state only — exactly what recovery relies on).
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch (with expected/actual MAC digests) when
+    /// authentication fails.
+    pub fn authenticate_persisted(&self, block_index: u64) -> Result<(), MacMismatch> {
+        let addr = self.layout.block_addr(block_index);
+        let (cb, group, slot) = self.layout.ctr_location(block_index);
+        let (mb, mslot) = self.layout.mac_location(block_index);
+        let groups = self.layout.ctr_geometry.unpack(&self.nvm.read_block(cb));
+        let (major, minor) = groups[group].value_of(slot);
+        let ct = self.nvm.read_block(addr);
+        let expect = self.mac.first_level(addr, major, minor, &ct);
+        let mac_len = self.layout.mac_len();
+        let mac_img = self.nvm.read_block(mb);
+        let stored = &mac_img[mslot * mac_len..(mslot + 1) * mac_len];
+        if stored == expect.as_slice() {
+            Ok(())
+        } else {
+            Err(MacMismatch {
+                block_index,
+                addr,
+                expected: byte_digest(&expect),
+                actual: byte_digest(stored),
+            })
+        }
+    }
+
+    /// Read-only access to the NVM device.
+    #[must_use]
+    pub fn nvm(&self) -> &NvmDevice {
+        &self.nvm
     }
 
     /// Merges one PUB entry if it matches the persisted ciphertext.
@@ -1067,6 +1266,7 @@ struct MachineHost<'a> {
     mac: &'a MacEngine,
     shadow: &'a mut ShadowTracker,
     shadow_writes_emitted: &'a mut u64,
+    crash_ctl: Option<&'a mut CrashControl>,
 }
 
 impl MachineHost<'_> {
@@ -1153,6 +1353,9 @@ impl ThothHost for MachineHost<'_> {
                 self.note_shadow_clean(mb);
             }
         }
+        if let Some(ctl) = self.crash_ctl.as_mut() {
+            ctl.tap(CrashSiteKind::MetaPersist);
+        }
     }
 
     fn write_pub_block(&mut self, addr: u64, image: &[u8]) {
@@ -1163,11 +1366,18 @@ impl ThothHost for MachineHost<'_> {
             WriteCategory::PubBlock,
             self.nvm,
         );
+        if let Some(ctl) = self.crash_ctl.as_mut() {
+            ctl.tap(CrashSiteKind::PubAppend);
+        }
     }
 
     fn read_pub_block(&mut self, addr: u64) -> Vec<u8> {
         let _ = self.nvm.time_access(self.now, addr, false);
         self.nvm.read_block(addr)
+    }
+
+    fn power_failed(&self) -> bool {
+        self.crash_ctl.as_ref().is_some_and(|c| c.fired())
     }
 }
 
@@ -1329,6 +1539,122 @@ mod tests {
         // After a crash the state must still verify.
         m.crash();
         assert!(m.recover().is_clean());
+    }
+
+    fn crashable_config() -> SimConfig {
+        let mut cfg = small_config(Mode::thoth_wtsc());
+        cfg.functional = FunctionalMode::Full;
+        cfg.pub_prefill = false;
+        cfg.pub_size_bytes = 8 << 10; // 64 blocks: evictions happen in tiny traces
+        cfg
+    }
+
+    #[test]
+    fn crash_site_enumeration_is_deterministic() {
+        let trace = tiny_trace(WorkloadKind::Swap);
+        let a = SecureNvm::new(crashable_config()).enumerate_crash_sites(&trace);
+        let b = SecureNvm::new(crashable_config()).enumerate_crash_sites(&trace);
+        assert_eq!(a, b);
+        assert!(a.of(CrashSiteKind::Persist) > 0);
+        assert!(a.of(CrashSiteKind::Store) > 0);
+        assert!(
+            a.of(CrashSiteKind::Persist) >= a.of(CrashSiteKind::Store),
+            "every Store op issues at least one persist"
+        );
+    }
+
+    #[test]
+    fn crash_mid_trace_recovers_cleanly() {
+        // A crash injected mid-trace — flush-in-flight state either fully
+        // persisted (ADR) or never started — must recover with the root
+        // verified and every block authenticated.
+        let trace = tiny_trace(WorkloadKind::Swap);
+        for plan in [
+            CrashPlan { site: CrashSiteKind::Persist, nth: 25 },
+            CrashPlan { site: CrashSiteKind::Store, nth: 7 },
+        ] {
+            let mut m = SecureNvm::new(crashable_config());
+            assert!(m.run_to_crash(&trace, plan), "{} must fire", plan.label());
+            m.crash();
+            let rec = m.recover();
+            assert!(rec.root_verified, "root after {}", plan.label());
+            assert_eq!(rec.blocks_failed, 0, "auth after {}", plan.label());
+            assert!(m.leaf_mismatches().is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_mid_pub_append_and_mid_eviction_recover() {
+        let trace = tiny_trace(WorkloadKind::Btree);
+        // Evict aggressively so the tiny trace reaches the mid-eviction
+        // (MetaPersist) window.
+        let mut cfg = crashable_config();
+        cfg.pub_threshold_pct = 20;
+        let counts = SecureNvm::new(cfg.clone()).enumerate_crash_sites(&trace);
+        for site in [CrashSiteKind::PubAppend, CrashSiteKind::MetaPersist] {
+            let n = counts.of(site);
+            assert!(n > 0, "tiny config must expose {} sites, got {counts:?}", site.tag());
+            let plan = CrashPlan { site, nth: n / 2 };
+            let mut m = SecureNvm::new(cfg.clone());
+            assert!(m.run_to_crash(&trace, plan));
+            m.crash();
+            let rec = m.recover();
+            assert!(rec.root_verified, "root after {}", plan.label());
+            assert_eq!(rec.blocks_failed, 0, "auth after {}", plan.label());
+        }
+    }
+
+    #[test]
+    fn op_log_matches_data_versions() {
+        // Every durably-ACKed store is logged exactly once: replaying the
+        // log must reproduce the machine's per-block version map.
+        let trace = tiny_trace(WorkloadKind::Swap);
+        let mut m = SecureNvm::new(crashable_config());
+        m.run_to_crash(&trace, CrashPlan { site: CrashSiteKind::Persist, nth: 40 });
+        let mut versions: FastMap<u64, u64> = FastMap::default();
+        for op in m.take_op_log() {
+            if let LoggedOp::Store { block, .. } = op {
+                *versions.entry(block).or_insert(0) += 1;
+            }
+        }
+        let written = m.written_blocks();
+        assert_eq!(written.len(), versions.len());
+        for (block, version) in written {
+            assert_eq!(versions.get(&block), Some(&version), "block {block}");
+        }
+    }
+
+    #[test]
+    fn crash_run_past_trace_end_reports_no_fire() {
+        let trace = tiny_trace(WorkloadKind::Swap);
+        let mut m = SecureNvm::new(crashable_config());
+        let plan = CrashPlan { site: CrashSiteKind::Persist, nth: u64::MAX };
+        assert!(!m.run_to_crash(&trace, plan), "trace ends before the point");
+        m.crash();
+        assert!(m.recover().is_clean(), "completed run still recovers");
+    }
+
+    #[test]
+    fn torn_counter_write_without_recovery_merge_fails_auth() {
+        // The acceptance check: a deliberately torn counter-block write at
+        // crash time, *without* replaying recovery's PUB merge, must be
+        // caught by per-block authentication.
+        let trace = tiny_trace(WorkloadKind::Swap);
+        let mut m = SecureNvm::new(crashable_config());
+        m.run_to_crash(&trace, CrashPlan { site: CrashSiteKind::Persist, nth: 30 });
+        m.crash();
+        // Corrupt one written block's counter in place: bump the stored
+        // minor as a torn 64 B-prefix write would.
+        let (block, _) = m.written_blocks()[0];
+        let (cb, _, _) = m.layout.ctr_location(block);
+        m.nvm_mut().tamper(cb + 1, 0xFF);
+        let failures: Vec<u64> = m
+            .written_blocks()
+            .iter()
+            .filter(|(b, _)| m.authenticate_persisted(*b).is_err())
+            .map(|&(b, _)| b)
+            .collect();
+        assert!(failures.contains(&block), "corruption must fail authentication");
     }
 
     #[test]
