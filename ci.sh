@@ -16,7 +16,13 @@ cargo test -q --locked
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets --locked -- -D warnings
 
+echo "== thoth-lint (repo invariants) =="
+cargo run -q --release --locked -p thoth-lint
+
 echo "== crashtest smoke (sampled crash points, all workloads) =="
 cargo run -q --release --locked -p thoth-experiments -- crashtest --quick
+
+echo "== psan (sanitizer clean sweep + seeded-bug corpus) =="
+cargo run -q --release --locked -p thoth-experiments -- psan --quick
 
 echo "ci: all green"

@@ -17,8 +17,9 @@
 
 use crate::policy::{BlockView, EvictOutcome, EvictionPolicy};
 use thoth_cache::{CacheConfig, SetAssocCache};
+use thoth_sim_engine::FastMap;
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One metadata partial update in the analyzed stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +103,7 @@ impl Breakdown {
 pub struct PubAnalysis {
     /// Models the secure metadata cache: payload = current value per
     /// subblock (the verified values the comparison checks against).
-    cache: SetAssocCache<HashMap<usize, u64>>,
+    cache: SetAssocCache<FastMap<usize, u64>>,
     fifo: VecDeque<FifoEntry>,
     capacity: usize,
     policy: EvictionPolicy,
@@ -136,7 +137,7 @@ impl PubAnalysis {
         // Bring the metadata block into the cache (a real write first
         // fetches and verifies the block).
         if self.cache.lookup(u.meta_block).is_none() {
-            if let Some(ev) = self.cache.insert(u.meta_block, HashMap::new()) {
+            if let Some(ev) = self.cache.insert(u.meta_block, FastMap::default()) {
                 if ev.dirty {
                     self.natural_writebacks += 1;
                 }

@@ -13,8 +13,9 @@
 //!   contract, but not yet transactionally committed.
 
 use thoth_sim::LoggedOp;
+use thoth_sim_engine::FastMap;
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Independent replay of the durably-ACKed operation log.
 #[derive(Debug, Clone, Default)]
@@ -32,7 +33,7 @@ impl ShadowHeap {
     pub fn replay(log: &[LoggedOp]) -> Self {
         let mut latest: BTreeMap<u64, u64> = BTreeMap::new();
         let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut open: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        let mut open: FastMap<usize, Vec<(u64, u64)>> = FastMap::default();
         for op in log {
             match *op {
                 LoggedOp::Store { core, block } => {

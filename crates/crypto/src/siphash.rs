@@ -71,7 +71,7 @@ impl SipHash24 {
         let rem = chunks.remainder();
         let mut last = (msg.len() as u64 & 0xff) << 56;
         for (i, &b) in rem.iter().enumerate() {
-            last |= (b as u64) << (8 * i);
+            last |= u64::from(b) << (8 * i);
         }
         Self::finalize(v, last)
     }
@@ -111,7 +111,7 @@ impl SipHash24 {
         }
         let mut last = (total & 0xff) << 56;
         for (i, &b) in buf[..buffered].iter().enumerate() {
-            last |= (b as u64) << (8 * i);
+            last |= u64::from(b) << (8 * i);
         }
         Self::finalize(v, last)
     }

@@ -31,6 +31,7 @@ pub mod fig3;
 pub mod headline;
 pub mod lifetime;
 pub mod perf;
+pub mod psan;
 pub mod recovery;
 pub mod runner;
 pub mod tablefmt;

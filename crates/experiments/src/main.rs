@@ -4,7 +4,7 @@
 //! thoth-experiments [EXPERIMENT ...] [--scale F] [--quick] [--csv DIR]
 //!
 //! EXPERIMENT: fig3 | headline | fig8 | fig9 | fig10 | table2 | table3 |
-//!             fig11 | fig12 | anubis | recovery | crashtest | all
+//!             fig11 | fig12 | anubis | recovery | crashtest | psan | all
 //!             (default: all)
 //! --scale F   transaction-count scale factor (default 0.25)
 //! --seed N    workload RNG seed
@@ -15,7 +15,8 @@
 use thoth_experiments::runner::ExpSettings;
 use thoth_experiments::tablefmt::Table;
 use thoth_experiments::{
-    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, recovery, txsweep, wpqsweep,
+    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, psan, recovery, txsweep,
+    wpqsweep,
 };
 
 use std::path::PathBuf;
@@ -116,6 +117,20 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "psan" => {
+                // Sanitizer runs default to the quick trace scale so the
+                // corpus replays quickly; --scale overrides.
+                let mut s = settings;
+                if !scale_given {
+                    s.scale = ExpSettings::quick().scale;
+                }
+                let out = psan::run(s, quick);
+                emit(out.tables, "psan");
+                if !out.ok {
+                    eprintln!("psan: FAILED (missed bug or dirty clean run, see above)");
+                    std::process::exit(1);
+                }
+            }
             "ablation" => emit(ablation::run(settings), "ablation"),
             "lifetime" => emit(lifetime::run(settings), "lifetime"),
             "all" => {}
@@ -156,6 +171,10 @@ EXPERIMENTS:
   crashtest crash-injection sweep + recovery audit across all workloads,
             writes results/crashtest.json; exits non-zero on any failing
             crash point (quick scale unless --scale)
+  psan      persist-ordering sanitizer: clean sweep (no findings allowed)
+            + seeded-bug corpus (every planted bug caught at its site),
+            writes results/psan.json; exits non-zero on any miss
+            (quick scale unless --scale)
   ablation  PUB/PCB design-space sweeps, PCB arrangement, eADR
   lifetime  NVM write totals + wear concentration per mode
   all       everything above (default)

@@ -1,0 +1,291 @@
+//! `psan` — the persist-ordering sanitizer as an experiment.
+//!
+//! Two halves, both required for the verdict:
+//!
+//! * **Clean sweep** — every paper workload runs unmodified through the
+//!   instrumented simulator; the sanitizer must report zero durability or
+//!   ordering findings *and* zero performance smells (the workload
+//!   runtime's undo-log dedup keeps the transactions smell-free).
+//! * **Seeded corpus** — each eligible (workload × bug) pair from
+//!   `thoth_workloads::corpus` is planted and replayed; the sanitizer must
+//!   produce a finding of the expected class at exactly the planted site
+//!   (core, op index, block address). A miss or a wrong-site detection
+//!   fails the experiment.
+//!
+//! Results go to stdout as tables and to `results/psan.json`; the binary
+//! exits non-zero on `!ok`.
+
+use crate::runner::ExpSettings;
+use crate::tablefmt::Table;
+
+use thoth_psan::{analyze_clean, analyze_variant, detection, expected_class, BLOCK_BYTES};
+use thoth_workloads::{corpus, spec, SeededBug, WorkloadKind};
+
+use std::fmt::Write as _;
+
+/// Tables plus an overall verdict (the binary exits non-zero on `!ok`).
+#[derive(Debug)]
+pub struct PsanOutcome {
+    /// Rendered result tables.
+    pub tables: Vec<Table>,
+    /// Clean workloads were finding-free and every planted bug was caught
+    /// at its site.
+    pub ok: bool,
+}
+
+/// One clean-workload verdict.
+#[derive(Debug)]
+struct CleanRow {
+    kind: WorkloadKind,
+    errors: usize,
+    smells: usize,
+    events: u64,
+}
+
+/// One corpus-variant verdict.
+#[derive(Debug)]
+struct CorpusRow {
+    kind: WorkloadKind,
+    bug: SeededBug,
+    seed: u64,
+    /// `None` when the workload exposes no eligible site for the bug
+    /// (the swap workload is log-free, so log/data swaps cannot exist).
+    site: Option<String>,
+    detected: bool,
+    findings: usize,
+}
+
+/// Site-selection seeds per (workload, bug) pair: quick plants one
+/// variant each, full plants two.
+fn seeds(quick: bool) -> &'static [u64] {
+    if quick {
+        &[1]
+    } else {
+        &[1, 2]
+    }
+}
+
+/// Runs the clean sweep and the seeded-bug corpus, writes
+/// `results/psan.json`, and reports the verdict.
+#[must_use]
+pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
+    let scale = settings.scale;
+    let mut clean_rows = Vec::new();
+    let mut corpus_rows = Vec::new();
+
+    for kind in WorkloadKind::ALL {
+        eprintln!("[thoth-experiments] psan analyzing clean {kind}...");
+        let run = analyze_clean(kind, scale);
+        clean_rows.push(CleanRow {
+            kind,
+            errors: run
+                .report
+                .findings
+                .iter()
+                .filter(|f| !f.class.is_smell())
+                .count(),
+            smells: run.report.smells().len(),
+            events: run.report.stats.events,
+        });
+
+        let annotated = spec::generate_annotated(thoth_psan::workload_config(kind, scale));
+        for bug in SeededBug::ALL {
+            for &seed in seeds(quick) {
+                let Some(variant) = corpus::seed_bug(&annotated, bug, seed, BLOCK_BYTES as u64)
+                else {
+                    corpus_rows.push(CorpusRow {
+                        kind,
+                        bug,
+                        seed,
+                        site: None,
+                        detected: false,
+                        findings: 0,
+                    });
+                    continue;
+                };
+                let run = analyze_variant(&variant);
+                corpus_rows.push(CorpusRow {
+                    kind,
+                    bug,
+                    seed,
+                    site: Some(format!(
+                        "core{}:op{}:{:#x}",
+                        variant.site.core, variant.site.op, variant.site.addr
+                    )),
+                    detected: detection(&run, &variant).is_some(),
+                    findings: run.report.findings.len(),
+                });
+            }
+        }
+    }
+
+    let clean_ok = clean_rows.iter().all(|r| r.errors == 0 && r.smells == 0);
+    let corpus_ok = corpus_rows
+        .iter()
+        .all(|r| r.site.is_none() || r.detected);
+    let ok = clean_ok && corpus_ok;
+
+    let mut t_clean = Table::new(
+        &format!("Sanitizer clean sweep (scale {scale}, Thoth/WTSC)"),
+        &["workload", "events", "errors", "smells", "verdict"],
+    );
+    for r in &clean_rows {
+        t_clean.row(vec![
+            r.kind.name().to_owned(),
+            r.events.to_string(),
+            r.errors.to_string(),
+            r.smells.to_string(),
+            if r.errors == 0 && r.smells == 0 {
+                "clean"
+            } else {
+                "DIRTY"
+            }
+            .to_owned(),
+        ]);
+    }
+
+    let mut t_corpus = Table::new(
+        "Sanitizer seeded-bug corpus (expected class at planted site)",
+        &["workload", "bug", "seed", "site", "findings", "verdict"],
+    );
+    for r in &corpus_rows {
+        t_corpus.row(vec![
+            r.kind.name().to_owned(),
+            r.bug.name().to_owned(),
+            r.seed.to_string(),
+            r.site.clone().unwrap_or_else(|| "(no eligible site)".to_owned()),
+            r.findings.to_string(),
+            if r.site.is_none() {
+                "n/a"
+            } else if r.detected {
+                "caught"
+            } else {
+                "MISSED"
+            }
+            .to_owned(),
+        ]);
+    }
+
+    for r in &corpus_rows {
+        if r.site.is_some() && !r.detected {
+            eprintln!(
+                "[thoth-experiments] psan MISS: {}:{} seed {} expected {} at {}",
+                r.kind.name(),
+                r.bug.name(),
+                r.seed,
+                expected_class(r.bug),
+                r.site.as_deref().unwrap_or("?"),
+            );
+        }
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/psan.json",
+        to_json(settings, quick, &clean_rows, &corpus_rows, ok),
+    )
+    .expect("write results/psan.json");
+    eprintln!("[thoth-experiments] wrote results/psan.json");
+
+    PsanOutcome {
+        tables: vec![t_clean, t_corpus],
+        ok,
+    }
+}
+
+/// Serializes the run as JSON (hand-rolled — no serializer dependency by
+/// design; see DESIGN.md §5).
+fn to_json(
+    settings: ExpSettings,
+    quick: bool,
+    clean: &[CleanRow],
+    corpus: &[CorpusRow],
+    ok: bool,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{ \"scale\": {}, \"quick\": {}, \"block_bytes\": {} }},",
+        settings.scale, quick, BLOCK_BYTES
+    );
+    s.push_str("  \"clean\": [\n");
+    for (i, r) in clean.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"workload\": \"{}\", \"events\": {}, \"errors\": {}, \"smells\": {} }}",
+            r.kind.name(),
+            r.events,
+            r.errors,
+            r.smells
+        );
+        s.push_str(if i + 1 < clean.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"corpus\": [\n");
+    for (i, r) in corpus.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"workload\": \"{}\", \"bug\": \"{}\", \"seed\": {}, \"eligible\": {}, \
+             \"site\": {}, \"expected_class\": \"{}\", \"detected\": {}, \"findings\": {} }}",
+            r.kind.name(),
+            r.bug.name(),
+            r.seed,
+            r.site.is_some(),
+            r.site
+                .as_ref()
+                .map_or_else(|| "null".to_owned(), |l| format!("\"{l}\"")),
+            expected_class(r.bug),
+            r.detected,
+            r.findings
+        );
+        s.push_str(if i + 1 < corpus.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(s, "  ],\n  \"ok\": {ok}\n}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_scale_with_mode() {
+        assert_eq!(seeds(true).len(), 1);
+        assert_eq!(seeds(false).len(), 2);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_the_verdict() {
+        let clean = vec![CleanRow {
+            kind: WorkloadKind::Swap,
+            errors: 0,
+            smells: 0,
+            events: 10,
+        }];
+        let corpus = vec![CorpusRow {
+            kind: WorkloadKind::Swap,
+            bug: SeededBug::DroppedFlush,
+            seed: 1,
+            site: Some("core0:op5:0x1000".to_owned()),
+            detected: true,
+            findings: 1,
+        }];
+        let j = to_json(ExpSettings::quick(), true, &clean, &corpus, true);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"ok\": true"));
+        assert!(j.contains("\"expected_class\": \"durability\""));
+    }
+
+    #[test]
+    fn quick_run_on_one_variant_detects() {
+        // A focused end-to-end check (the full sweep runs in CI): plant a
+        // dropped flush in the swap workload and catch it.
+        let scale = thoth_psan::DEFAULT_SCALE;
+        let annotated =
+            spec::generate_annotated(thoth_psan::workload_config(WorkloadKind::Swap, scale));
+        let v = corpus::seed_bug(&annotated, SeededBug::DroppedFlush, 1, BLOCK_BYTES as u64)
+            .expect("swap exposes dropped-flush sites");
+        let run = analyze_variant(&v);
+        assert!(detection(&run, &v).is_some());
+    }
+}

@@ -120,8 +120,7 @@ pub struct Job<K> {
 #[must_use]
 pub fn run_jobs<K: Send + std::fmt::Debug>(jobs: Vec<Job<K>>) -> Vec<(K, SimReport)> {
     let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZeroUsize::get)
         .min(jobs.len().max(1));
     if workers <= 1 {
         return run_jobs_sequential(jobs);

@@ -17,7 +17,13 @@ use thoth_experiments::runner::{run_jobs, run_jobs_sequential, ExpSettings, Trac
 /// If a change is *supposed* to alter simulated behaviour, re-pin with:
 /// `cargo test -p thoth-experiments --test determinism -- --nocapture`
 /// (a mismatch prints the new digest) and record why in the commit.
-const GOLDEN_QUICK_DIGEST: u64 = 0xab00_fa10_45cd_2f2f;
+///
+/// Re-pinned from `0xab00_fa10_45cd_2f2f` when the transaction runtime
+/// gained undo-log dedup (a range already logged in the open transaction
+/// is not logged again — the covered-log-append smell `thoth-psan`
+/// surfaces). Workload traces shrink by the duplicate log appends, so
+/// every simulated report legitimately moves.
+const GOLDEN_QUICK_DIGEST: u64 = 0xaa9d_df0c_ed97_6c32;
 
 fn quick_matrix_parallel() -> HeadlineRuns {
     let mut cache = TraceCache::new(ExpSettings::quick());

@@ -1,0 +1,37 @@
+//! CLI entry point: `thoth-lint [root]` scans the repository (default:
+//! the workspace containing this crate) and exits non-zero if any rule
+//! is violated.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || {
+            // crates/lint -> crates -> repo root
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(std::path::Path::parent)
+                .map(std::path::Path::to_path_buf)
+                .expect("crates/lint lives two levels below the repo root")
+        },
+        PathBuf::from,
+    );
+    match thoth_lint::scan_repo(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("thoth-lint: clean ({} rules)", thoth_lint::Rule::ALL.len());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("thoth-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("thoth-lint: scan failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,4 +22,4 @@
 
 pub mod wpq;
 
-pub use wpq::{Wpq, WpqConfig, WpqStats};
+pub use wpq::{Wpq, WpqConfig, WpqEvent, WpqStats};

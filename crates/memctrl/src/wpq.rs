@@ -52,6 +52,28 @@ struct Entry {
     drain_done: Option<Cycle>,
 }
 
+/// One observable WPQ transition — the durable-ordering edges the
+/// persistency sanitizer consumes. Recording is off by default (see
+/// [`Wpq::record_events`]); the hot path only pays a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WpqEvent {
+    /// A write was accepted into the persistence domain (the persist
+    /// ACK): from this point the block is durable under ADR.
+    Accepted {
+        /// Block address.
+        addr: u64,
+        /// Write category of the accepted payload.
+        category: WriteCategory,
+        /// The write merged into a pending entry instead of taking a slot.
+        coalesced: bool,
+    },
+    /// A pending entry was committed to an NVM write by the drain engine.
+    Drained {
+        /// Block address.
+        addr: u64,
+    },
+}
+
 /// WPQ event counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WpqStats {
@@ -96,6 +118,8 @@ pub struct Wpq {
     /// model bug (volatile state used after the machine died), so it
     /// panics until [`Self::power_restore`].
     powered: bool,
+    /// Event log for the persistency sanitizer; `None` (off) by default.
+    events: Option<Vec<WpqEvent>>,
 }
 
 impl Wpq {
@@ -115,6 +139,28 @@ impl Wpq {
             entries: VecDeque::new(),
             stats: WpqStats::default(),
             powered: true,
+            events: None,
+        }
+    }
+
+    /// Enables or disables [`WpqEvent`] recording. Enabling starts an
+    /// empty log; disabling discards it.
+    pub fn record_events(&mut self, on: bool) {
+        self.events = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the recorded events, leaving an empty log (recording stays
+    /// enabled). Empty if recording is off.
+    pub fn take_events(&mut self) -> Vec<WpqEvent> {
+        match self.events.as_mut() {
+            Some(ev) => std::mem::take(ev),
+            None => Vec::new(),
+        }
+    }
+
+    fn note_event(&mut self, ev: WpqEvent) {
+        if let Some(events) = self.events.as_mut() {
+            events.push(ev);
         }
     }
 
@@ -189,10 +235,13 @@ impl Wpq {
             return;
         }
         let commit_upto = self.entries.len() - self.config.low_watermark.min(self.entries.len());
-        for e in self.entries.iter_mut().take(commit_upto) {
+        for i in 0..commit_upto {
+            let e = &mut self.entries[i];
             if e.drain_done.is_none() {
                 Self::commit(e, now, nvm);
+                let addr = e.addr;
                 self.stats.drained += 1;
+                self.note_event(WpqEvent::Drained { addr });
             }
         }
     }
@@ -234,6 +283,11 @@ impl Wpq {
             e.payload = payload;
             e.category = category;
             self.stats.coalesced += 1;
+            self.note_event(WpqEvent::Accepted {
+                addr,
+                category,
+                coalesced: true,
+            });
             self.maybe_drain(now, nvm);
             return now;
         }
@@ -245,10 +299,13 @@ impl Wpq {
             // wait for the earliest completion.
             let keep = self.config.low_watermark.min(self.config.capacity - 1);
             let commit_upto = self.entries.len() - keep;
-            for e in self.entries.iter_mut().take(commit_upto) {
+            for i in 0..commit_upto {
+                let e = &mut self.entries[i];
                 if e.drain_done.is_none() {
                     Self::commit(e, now, nvm);
+                    let drained = e.addr;
                     self.stats.drained += 1;
+                    self.note_event(WpqEvent::Drained { addr: drained });
                 }
             }
             let first_free = self
@@ -269,6 +326,11 @@ impl Wpq {
             category,
             drain_done: None,
         });
+        self.note_event(WpqEvent::Accepted {
+            addr,
+            category,
+            coalesced: false,
+        });
         self.maybe_drain(accept, nvm);
         accept
     }
@@ -277,12 +339,15 @@ impl Wpq {
     /// so final write counts include pending entries.
     pub fn drain_all(&mut self, now: Cycle, nvm: &mut NvmDevice) -> Cycle {
         let mut last = now;
-        for e in self.entries.iter_mut() {
+        for i in 0..self.entries.len() {
+            let e = &mut self.entries[i];
             if e.drain_done.is_none() {
                 Self::commit(e, now, nvm);
+                let addr = e.addr;
                 self.stats.drained += 1;
+                self.note_event(WpqEvent::Drained { addr });
             }
-            last = last.max(e.drain_done.expect("just committed"));
+            last = last.max(self.entries[i].drain_done.expect("just committed"));
         }
         self.entries.clear();
         last

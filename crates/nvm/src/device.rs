@@ -140,8 +140,7 @@ impl NvmDevice {
         let block = self.align(addr);
         self.blocks
             .get(&block)
-            .map(|b| b.to_vec())
-            .unwrap_or_else(|| vec![0; self.config.block_bytes])
+            .map_or_else(|| vec![0; self.config.block_bytes], |b| b.to_vec())
     }
 
     /// Borrowing read of the block containing `addr`, or `None` for a

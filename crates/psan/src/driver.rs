@@ -1,0 +1,98 @@
+//! Workload driver: generates (or takes) traces, runs them through the
+//! instrumented simulator, and feeds the event stream to the checker.
+
+use crate::checker::{check_events, PsanReport};
+use crate::finding::{Finding, FindingClass};
+use thoth_sim::{FunctionalMode, Mode, SecureNvm, SimConfig, SimReport};
+use thoth_workloads::{
+    spec, BugSite, MultiCoreTrace, OpClass, SeededBug, SeededVariant, WorkloadConfig, WorkloadKind,
+};
+
+/// Block size every sanitizer run uses (the paper's emerging-NVM block).
+pub const BLOCK_BYTES: usize = 128;
+
+/// Default trace scale for sanitizer runs: small enough to be quick,
+/// large enough to exercise PUB appends and evictions.
+pub const DEFAULT_SCALE: f64 = 0.02;
+
+/// One analyzed execution: the simulator's report plus the checker's.
+#[derive(Debug)]
+pub struct PsanRun {
+    /// Timing/traffic report of the instrumented run.
+    pub sim: SimReport,
+    /// The sanitizer verdict.
+    pub report: PsanReport,
+}
+
+/// The simulator configuration sanitizer runs use: Thoth/WTSC, fast
+/// functional mode (the checker needs event structure, not real bytes),
+/// a small PUB so eviction traffic appears, and no PUB prefill (prefill
+/// bypasses the instrumented append path).
+#[must_use]
+pub fn sim_config() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Mode::thoth_wtsc(), BLOCK_BYTES);
+    cfg.functional = FunctionalMode::Fast;
+    cfg.pub_prefill = false;
+    cfg.pub_size_bytes = 64 << 10;
+    cfg
+}
+
+/// Workload configuration for sanitizer runs at `scale`.
+#[must_use]
+pub fn workload_config(kind: WorkloadKind, scale: f64) -> WorkloadConfig {
+    WorkloadConfig::paper_default(kind).scaled(scale)
+}
+
+/// Runs `trace` through the instrumented simulator and checks the event
+/// stream against the trace's per-op `classes`.
+#[must_use]
+pub fn analyze(trace: &MultiCoreTrace, classes: &[Vec<OpClass>]) -> PsanRun {
+    let mut machine = SecureNvm::new(sim_config());
+    let (sim, events) = machine.run_psan(trace);
+    let report = check_events(&events, classes, BLOCK_BYTES as u64);
+    PsanRun { sim, report }
+}
+
+/// Generates and analyzes the unmodified `kind` workload at `scale`.
+#[must_use]
+pub fn analyze_clean(kind: WorkloadKind, scale: f64) -> PsanRun {
+    let a = spec::generate_annotated(workload_config(kind, scale));
+    analyze(&a.trace, &a.classes)
+}
+
+/// Analyzes a seeded-bug variant.
+#[must_use]
+pub fn analyze_variant(v: &SeededVariant) -> PsanRun {
+    analyze(&v.trace, &v.classes)
+}
+
+/// The finding class each seeded bug must produce.
+#[must_use]
+pub fn expected_class(bug: SeededBug) -> FindingClass {
+    match bug {
+        SeededBug::DroppedFlush => FindingClass::Durability,
+        SeededBug::SwappedLogData => FindingClass::Ordering,
+        SeededBug::DoubleFlush => FindingClass::RedundantFlush,
+    }
+}
+
+/// True when `f` attributes to exactly the planted site: same core, same
+/// op index, and the same address at block granularity (flush findings
+/// name the block-aligned address of a possibly unaligned store).
+#[must_use]
+pub fn finding_matches_site(f: &Finding, site: &BugSite) -> bool {
+    let bb = BLOCK_BYTES as u64;
+    f.core as usize == site.core
+        && f.op as usize == site.op
+        && (f.addr == site.addr || f.addr == site.addr - site.addr % bb)
+}
+
+/// The finding that proves `v` was caught: right class, exact site.
+#[must_use]
+pub fn detection<'a>(run: &'a PsanRun, v: &SeededVariant) -> Option<&'a Finding> {
+    let want = expected_class(v.bug);
+    run.report
+        .findings
+        .iter()
+        .find(|f| f.class == want && finding_matches_site(f, &v.site))
+}

@@ -1,0 +1,118 @@
+//! Finding types: what the sanitizer reports and how severe it is.
+
+/// The classes of finding the shadow state machine produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingClass {
+    /// A transaction commit was ACKed while one of its stores had no
+    /// durable-ordering edge (the classic missing `clwb`).
+    Durability,
+    /// A persist-before edge required by the recovery protocol is absent:
+    /// an in-place update became durable before (or without) the undo-log
+    /// entry guarding it, or a data persist lacked its metadata-persist
+    /// cover.
+    Ordering,
+    /// Performance smell: a `clwb` of a line holding no un-persisted data.
+    RedundantFlush,
+    /// Performance smell: a PUB append whose entries were all already live
+    /// in the PUB (a prior append covers it).
+    CoveredPubAppend,
+    /// Performance smell: an undo-log append for a range an earlier log
+    /// entry of the same transaction already guards.
+    CoveredLogAppend,
+}
+
+impl FindingClass {
+    /// Every class, in severity order.
+    pub const ALL: [FindingClass; 5] = [
+        FindingClass::Durability,
+        FindingClass::Ordering,
+        FindingClass::RedundantFlush,
+        FindingClass::CoveredPubAppend,
+        FindingClass::CoveredLogAppend,
+    ];
+
+    /// Stable lowercase name (reports, JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingClass::Durability => "durability",
+            FindingClass::Ordering => "ordering",
+            FindingClass::RedundantFlush => "redundant-flush",
+            FindingClass::CoveredPubAppend => "covered-pub-append",
+            FindingClass::CoveredLogAppend => "covered-log-append",
+        }
+    }
+
+    /// True for performance smells (as opposed to correctness bugs).
+    #[must_use]
+    pub fn is_smell(self) -> bool {
+        matches!(
+            self,
+            FindingClass::RedundantFlush
+                | FindingClass::CoveredPubAppend
+                | FindingClass::CoveredLogAppend
+        )
+    }
+}
+
+impl std::fmt::Display for FindingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One sanitizer finding, attributed to the trace op that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// What kind of violation this is.
+    pub class: FindingClass,
+    /// Core whose op stream contains the offending op.
+    pub core: u32,
+    /// Index of the offending op in that core's stream.
+    pub op: u32,
+    /// The address the finding is about (store target, flushed block, or
+    /// PUB block address, per class).
+    pub addr: u64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] core {} op {} addr {:#x}: {}",
+            self.class, self.core, self.op, self.addr, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_smells_are_smells() {
+        for (i, a) in FindingClass::ALL.iter().enumerate() {
+            for b in &FindingClass::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+        assert!(!FindingClass::Durability.is_smell());
+        assert!(!FindingClass::Ordering.is_smell());
+        assert!(FindingClass::RedundantFlush.is_smell());
+    }
+
+    #[test]
+    fn display_names_the_site() {
+        let f = Finding {
+            class: FindingClass::Durability,
+            core: 1,
+            op: 42,
+            addr: 0x1000,
+            detail: "x".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("durability") && s.contains("op 42") && s.contains("0x1000"));
+    }
+}

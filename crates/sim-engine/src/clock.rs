@@ -111,14 +111,14 @@ impl Frequency {
     #[must_use]
     pub fn ns_to_cycles(self, ns: u64) -> u64 {
         // cycles = ns * hz / 1e9, with ceiling division.
-        let num = (ns as u128) * (self.hz as u128);
+        let num = u128::from(ns) * u128::from(self.hz);
         num.div_ceil(1_000_000_000) as u64
     }
 
     /// Converts a cycle count into nanoseconds (truncating).
     #[must_use]
     pub fn cycles_to_ns(self, cycles: u64) -> u64 {
-        ((cycles as u128) * 1_000_000_000 / self.hz as u128) as u64
+        (u128::from(cycles) * 1_000_000_000 / u128::from(self.hz)) as u64
     }
 
     /// Converts a cycle count into seconds as a float, for report output.

@@ -188,7 +188,7 @@ impl<E> EventQueue<E> {
     /// Removes all pending events.
     pub fn clear(&mut self) {
         if self.bucketed > 0 {
-            for b in self.buckets.iter_mut() {
+            for b in &mut self.buckets {
                 b.clear();
             }
             self.bucketed = 0;

@@ -13,7 +13,7 @@
 //! behaviour (as opposed to wall-clock) must not change, which the
 //! determinism golden test pins.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet}; // thoth-lint: allow(std-hash) — this is the wrapper
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplicative folding hasher (FxHash construction). Not DoS-resistant
@@ -76,10 +76,10 @@ impl Hasher for FxStyleHasher {
 }
 
 /// `HashMap` with the deterministic multiplicative hasher.
-pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxStyleHasher>>;
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxStyleHasher>>; // thoth-lint: allow(std-hash)
 
 /// `HashSet` with the deterministic multiplicative hasher.
-pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxStyleHasher>>;
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxStyleHasher>>; // thoth-lint: allow(std-hash)
 
 #[cfg(test)]
 mod tests {

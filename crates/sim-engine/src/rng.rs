@@ -66,13 +66,13 @@ impl DetRng {
         assert!(bound > 0, "gen_range bound must be positive");
         // Lemire's multiply-shift rejection method: unbiased.
         let mut x = self.next_u64();
-        let mut m = (x as u128) * (bound as u128);
+        let mut m = u128::from(x) * u128::from(bound);
         let mut l = m as u64;
         if l < bound {
             let t = bound.wrapping_neg() % bound;
             while l < t {
                 x = self.next_u64();
-                m = (x as u128) * (bound as u128);
+                m = u128::from(x) * u128::from(bound);
                 l = m as u64;
             }
         }

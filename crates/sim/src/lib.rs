@@ -28,6 +28,7 @@ pub mod crash;
 pub mod diagnostics;
 pub mod layout;
 pub mod machine;
+pub mod psan_events;
 pub mod report;
 
 pub use config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
@@ -35,6 +36,7 @@ pub use crash::{CrashControl, CrashPlan, CrashSiteCounts, CrashSiteKind, LoggedO
 pub use diagnostics::{byte_digest, CrashDiagnostics, LeafMismatch, MacMismatch};
 pub use layout::MemoryLayout;
 pub use machine::SecureNvm;
+pub use psan_events::{MetaMech, PersistEvent, PersistEventKind, PsanRecorder, NO_CTX};
 pub use report::{RecoveryReport, SimReport};
 
 use thoth_workloads::MultiCoreTrace;

@@ -5,6 +5,7 @@ use crate::config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
 use crate::crash::{CrashControl, CrashPlan, CrashSiteCounts, CrashSiteKind, LoggedOp};
 use crate::diagnostics::{byte_digest, LeafMismatch, MacMismatch};
 use crate::layout::MemoryLayout;
+use crate::psan_events::{MetaMech, PersistEvent, PersistEventKind, PsanRecorder, NO_CTX};
 use crate::report::{RecoveryReport, SimReport};
 
 use thoth_cache::{CacheConfig, CacheStats, SetAssocCache};
@@ -14,14 +15,14 @@ use thoth_core::policy::{BlockView, MetadataKind};
 use thoth_core::{EvictOutcome, PartialUpdate, PcbStats, PubConfig};
 use thoth_crypto::counter::CounterGroup;
 use thoth_crypto::{CtrMode, MacEngine, MacKey};
-use thoth_memctrl::{Wpq, WpqConfig, WpqStats};
+use thoth_memctrl::{Wpq, WpqConfig, WpqEvent, WpqStats};
 use thoth_merkle::{BonsaiTree, MerkleConfig, ShadowTracker};
 use thoth_nvm::{FaultConfig, NvmDevice, WriteCategory};
 use thoth_sim_engine::{Cycle, DetRng, EventQueue};
 use thoth_workloads::{MultiCoreTrace, TraceOp};
 
 use std::collections::BTreeMap;
-use thoth_sim_engine::FastMap;
+use thoth_sim_engine::{FastMap, FastSet};
 
 /// Keys are fixed for reproducibility; a real system draws them at boot.
 const ENC_KEY: [u8; 16] = *b"thoth-enc-key..!";
@@ -66,6 +67,11 @@ pub struct SecureNvm {
     /// Execution-order log of durably-ACKed operations, kept only while a
     /// crash run wants an external oracle to replay them.
     op_log: Option<Vec<LoggedOp>>,
+    /// Persist-event recorder for the sanitizer; `None` in normal runs.
+    psan: Option<PsanRecorder>,
+    /// Blocks holding relaxed-store data not yet written back (volatile
+    /// dirty lines awaiting a `Flush`).
+    relaxed_pending: FastSet<u64>,
 }
 
 /// Per-core replay cursor.
@@ -139,6 +145,8 @@ impl SecureNvm {
             transactions: 0,
             crash_ctl: None,
             op_log: None,
+            psan: None,
+            relaxed_pending: FastSet::default(),
             config,
         }
     }
@@ -405,7 +413,7 @@ impl SecureNvm {
             .insert(t, addr, ciphertext, WriteCategory::Data, &mut self.nvm);
         let mut ack = data_ack;
 
-        match self.config.mode {
+        let mech = match self.config.mode {
             Mode::Baseline => {
                 // Strict persistence: full counter + MAC blocks each write.
                 let ctr_img = packed;
@@ -420,6 +428,7 @@ impl SecureNvm {
                 self.ctr_cache.clean(cb);
                 self.mac_cache.clean(mb);
                 ack = ack.max(a1).max(a2);
+                MetaMech::InPlace
             }
             Mode::AnubisEcc => {
                 // Metadata rides along with data via ECC bits / MAC chip:
@@ -429,6 +438,7 @@ impl SecureNvm {
                 self.mac_cache.mark_dirty(mb, Some(mslot % 64));
                 self.note_shadow_dirty(t, cb);
                 self.note_shadow_dirty(t, mb);
+                MetaMech::EccRideAlong
             }
             Mode::Eadr => {
                 // The entire hierarchy is persistent: the store is durable
@@ -437,6 +447,7 @@ impl SecureNvm {
                     .mark_dirty(cb, Some(self.layout.ctr_subblock(index) % 64));
                 self.mac_cache.mark_dirty(mb, Some(mslot % 64));
                 ack = t;
+                MetaMech::EadrDomain
             }
             Mode::Thoth(_) => {
                 // Second-level MAC for the partial update.
@@ -475,10 +486,15 @@ impl SecureNvm {
                     self.note_shadow_clean(t, cb);
                     self.note_shadow_clean(t, mb);
                     self.pcb_wpq_bypass += 1;
+                    MetaMech::WpqMerge
                 } else {
                     ack = ack.max(self.insert_partial_update(t, pu));
+                    MetaMech::Pcb
                 }
             }
+        };
+        if let Some(p) = self.psan.as_mut() {
+            p.emit(PersistEventKind::MetaCover { block: addr, mech });
         }
 
         // Minor-counter overflow: persist the counter block immediately
@@ -511,6 +527,7 @@ impl SecureNvm {
             shadow_writes_emitted,
             config,
             crash_ctl,
+            psan,
             ..
         } = self;
         let mut host = MachineHost {
@@ -526,6 +543,7 @@ impl SecureNvm {
             shadow,
             shadow_writes_emitted,
             crash_ctl: crash_ctl.as_mut(),
+            psan: psan.as_mut(),
         };
         thoth.as_mut().expect("Thoth mode").insert(pu, &mut host);
         now
@@ -591,19 +609,22 @@ impl SecureNvm {
         let ack = self
             .wpq
             .insert(t, addr, ciphertext, WriteCategory::Data, &mut self.nvm);
-        match self.config.mode {
+        let mech = match self.config.mode {
             Mode::Baseline => {
                 let mac_img = self.mac_cache.peek(mb).expect("ensured").clone();
                 self.wpq
                     .insert(t, mb, Some(mac_img), WriteCategory::MacBlock, &mut self.nvm);
                 self.mac_cache.clean(mb);
+                MetaMech::InPlace
             }
             Mode::AnubisEcc => {
                 self.mac_cache.mark_dirty(mb, Some(mslot % 64));
                 self.note_shadow_dirty(t, mb);
+                MetaMech::EccRideAlong
             }
             Mode::Eadr => {
                 self.mac_cache.mark_dirty(mb, Some(mslot % 64));
+                MetaMech::EadrDomain
             }
             Mode::Thoth(_) => {
                 self.mac_cache.mark_dirty(mb, Some(mslot % 64));
@@ -618,7 +639,11 @@ impl SecureNvm {
                     mac_status: !mac_was_dirty,
                 };
                 self.insert_partial_update(t, pu);
+                MetaMech::Pcb
             }
+        };
+        if let Some(p) = self.psan.as_mut() {
+            p.emit(PersistEventKind::MetaCover { block: addr, mech });
         }
         ack
     }
@@ -686,6 +711,30 @@ impl SecureNvm {
         self.build_report(&snap, end.saturating_since(boundary))
     }
 
+    /// Runs `trace` with persist-event instrumentation enabled, returning
+    /// the report plus the full event stream (warm-up included — the
+    /// sanitizer checks the whole execution, not just the measured phase).
+    ///
+    /// Events produced by the final background WPQ drain carry the
+    /// [`NO_CTX`] context.
+    pub fn run_psan(&mut self, trace: &MultiCoreTrace) -> (SimReport, Vec<PersistEvent>) {
+        self.wpq.record_events(true);
+        self.psan = Some(PsanRecorder::new());
+        let report = self.run(trace);
+        // The tail drain in `run` buffered events after the last op.
+        if let Some(p) = self.psan.as_mut() {
+            p.set_ctx(NO_CTX, NO_CTX);
+        }
+        self.pump_wpq_events();
+        self.wpq.record_events(false);
+        let events = self
+            .psan
+            .take()
+            .expect("recorder installed above")
+            .into_events();
+        (report, events)
+    }
+
     /// Replays ops; with `tx_limit` set, each core stops after that many
     /// transactions (the warm-up boundary).
     ///
@@ -709,6 +758,9 @@ impl SecureNvm {
                 cores[ci].done = true;
             }
             let now = cores[ci].time;
+            if let Some(p) = self.psan.as_mut() {
+                p.set_ctx(ci as u32, (cores[ci].idx - 1) as u32);
+            }
             match op {
                 TraceOp::Read { addr, len } => {
                     let mut lat = 0;
@@ -718,10 +770,20 @@ impl SecureNvm {
                     cores[ci].time = now + lat + self.config.compute_gap_cycles;
                 }
                 TraceOp::Store { addr, len } => {
+                    if let Some(p) = self.psan.as_mut() {
+                        p.emit(PersistEventKind::Store {
+                            addr,
+                            len,
+                            relaxed: false,
+                        });
+                    }
                     let mut ack = cores[ci].pending_ack;
                     let mut t = now;
                     for block in self.blocks_spanned(addr, len) {
                         self.llc.insert(block, ());
+                        // A plain (non-temporal) store persists the line a
+                        // relaxed store may have left volatile-dirty.
+                        self.relaxed_pending.remove(&block);
                         // The store completes atomically — even if a crash
                         // tap fires inside it, its persist was ACKed, so it
                         // is logged as durable; we just never start the
@@ -747,7 +809,67 @@ impl SecureNvm {
                         }
                     }
                 }
+                TraceOp::StoreRelaxed { addr, len } => {
+                    // A plain `mov`: the line dirties in the LLC but gains
+                    // no durable-ordering edge until a later write-back.
+                    if let Some(p) = self.psan.as_mut() {
+                        p.emit(PersistEventKind::Store {
+                            addr,
+                            len,
+                            relaxed: true,
+                        });
+                    }
+                    for block in self.blocks_spanned(addr, len) {
+                        self.llc.insert(block, ());
+                        self.relaxed_pending.insert(block);
+                    }
+                    cores[ci].time =
+                        now + self.config.llc_hit_cycles + self.config.compute_gap_cycles;
+                }
+                TraceOp::Flush { addr, len } => {
+                    // `clwb`: write back any volatile-dirty relaxed data in
+                    // the spanned lines through the secure write pipeline.
+                    let mut ack = cores[ci].pending_ack;
+                    let mut t = now;
+                    for block in self.blocks_spanned(addr, len) {
+                        let pending = self.relaxed_pending.remove(&block);
+                        if let Some(p) = self.psan.as_mut() {
+                            p.emit(PersistEventKind::Flush { block, pending });
+                        }
+                        if pending {
+                            ack = ack.max(self.store_block(t, block));
+                            t += self.config.compute_gap_cycles;
+                            let index = self.layout.block_index(block);
+                            if let Some(log) = self.op_log.as_mut() {
+                                log.push(LoggedOp::Store { core: ci, block: index });
+                            }
+                            if let Some(ctl) = self.crash_ctl.as_mut() {
+                                ctl.tap(CrashSiteKind::Persist);
+                                if ctl.fired() {
+                                    break;
+                                }
+                            }
+                        } else {
+                            // Clean line: the write-back is a no-op.
+                            t += self.config.llc_hit_cycles;
+                        }
+                    }
+                    cores[ci].pending_ack = ack;
+                    cores[ci].time = t;
+                }
+                TraceOp::Fence => {
+                    // `sfence`: order — wait for outstanding persist ACKs —
+                    // without ending the transaction.
+                    if let Some(p) = self.psan.as_mut() {
+                        p.emit(PersistEventKind::Fence);
+                    }
+                    cores[ci].time = now.max(cores[ci].pending_ack);
+                    cores[ci].pending_ack = Cycle::ZERO;
+                }
                 TraceOp::Commit => {
+                    if let Some(p) = self.psan.as_mut() {
+                        p.emit(PersistEventKind::Commit);
+                    }
                     cores[ci].time = now.max(cores[ci].pending_ack);
                     cores[ci].pending_ack = Cycle::ZERO;
                     cores[ci].txs_done += 1;
@@ -757,11 +879,35 @@ impl SecureNvm {
                     }
                 }
             }
+            self.pump_wpq_events();
             if self.crash_ctl.as_ref().is_some_and(CrashControl::fired) {
                 return; // power is gone: no core issues anything further
             }
             if ready(&cores[ci], ci) {
                 queue.schedule(cores[ci].time, ci);
+            }
+        }
+    }
+
+    /// Moves buffered WPQ acceptance/drain events into the persist-event
+    /// stream, stamped with the current op context. Called after each
+    /// replayed op so every event of one op is contiguous in the stream.
+    fn pump_wpq_events(&mut self) {
+        let Some(p) = self.psan.as_mut() else {
+            return;
+        };
+        for e in self.wpq.take_events() {
+            match e {
+                WpqEvent::Accepted {
+                    addr,
+                    category,
+                    coalesced,
+                } => p.emit(PersistEventKind::Accepted {
+                    block: addr,
+                    category,
+                    coalesced,
+                }),
+                WpqEvent::Drained { addr } => p.emit(PersistEventKind::Drained { block: addr }),
             }
         }
     }
@@ -1014,6 +1160,8 @@ impl SecureNvm {
         self.mac_cache.drain();
         self.mt_cache.drain();
         self.llc.drain();
+        // Relaxed-store data that never got a write-back is simply lost.
+        self.relaxed_pending = FastSet::default();
     }
 
     /// Runs recovery: scan the PUB oldest→youngest, merge verified
@@ -1267,6 +1415,7 @@ struct MachineHost<'a> {
     shadow: &'a mut ShadowTracker,
     shadow_writes_emitted: &'a mut u64,
     crash_ctl: Option<&'a mut CrashControl>,
+    psan: Option<&'a mut PsanRecorder>,
 }
 
 impl MachineHost<'_> {
@@ -1359,6 +1508,12 @@ impl ThothHost for MachineHost<'_> {
     }
 
     fn write_pub_block(&mut self, addr: u64, image: &[u8]) {
+        if let Some(p) = self.psan.as_mut() {
+            p.emit(PersistEventKind::PubAppend {
+                addr,
+                image: image.to_vec(),
+            });
+        }
         self.wpq.insert(
             self.now,
             addr,
@@ -1372,6 +1527,9 @@ impl ThothHost for MachineHost<'_> {
     }
 
     fn read_pub_block(&mut self, addr: u64) -> Vec<u8> {
+        if let Some(p) = self.psan.as_mut() {
+            p.emit(PersistEventKind::PubEvict { addr });
+        }
         let _ = self.nvm.time_access(self.now, addr, false);
         self.nvm.read_block(addr)
     }

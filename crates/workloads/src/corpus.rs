@@ -1,0 +1,381 @@
+//! Seeded-bug corpus: deterministic broken variants of the workload
+//! traces for the persistency sanitizer (`thoth-psan`) to catch.
+//!
+//! Each [`SeededBug`] takes an annotated clean trace and plants exactly
+//! one persistency bug at a deterministically chosen site:
+//!
+//! * [`SeededBug::DroppedFlush`] — an in-place data store is demoted to a
+//!   relaxed store whose write-back never happens: the transaction
+//!   commits with no durable-ordering edge for that block (a durability
+//!   bug — the classic missing `clwb`).
+//! * [`SeededBug::SwappedLogData`] — an undo-log append and the in-place
+//!   update it guards change places: the data becomes durable before its
+//!   old value does, so a crash between them is unrecoverable (an
+//!   ordering violation — write-ahead logging inverted).
+//! * [`SeededBug::DoubleFlush`] — a redundant flush of a block the
+//!   preceding store already persisted (a performance smell — the
+//!   back-to-back `clwb` anti-pattern).
+//!
+//! The mutation site is recorded as a [`BugSite`] so the sanitizer's
+//! attribution (core, op index, address) can be checked exactly.
+
+use crate::runtime::{AnnotatedTrace, MultiCoreTrace, OpClass, TraceOp};
+use thoth_sim_engine::DetRng;
+
+/// One plantable persistency bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeededBug {
+    /// Demote a data store to a relaxed store with no flush (durability).
+    DroppedFlush,
+    /// Swap an undo-log append with the update it guards (ordering).
+    SwappedLogData,
+    /// Insert a flush of an already-persisted block (performance smell).
+    DoubleFlush,
+}
+
+impl SeededBug {
+    /// Every bug kind, in a fixed order.
+    pub const ALL: [SeededBug; 3] = [
+        SeededBug::DroppedFlush,
+        SeededBug::SwappedLogData,
+        SeededBug::DoubleFlush,
+    ];
+
+    /// Stable lowercase name (reports, JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SeededBug::DroppedFlush => "dropped-flush",
+            SeededBug::SwappedLogData => "swapped-log-data",
+            SeededBug::DoubleFlush => "double-flush",
+        }
+    }
+
+    /// Parses a [`Self::name`] back.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<SeededBug> {
+        SeededBug::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Per-kind salt so different bugs pick independent sites.
+    fn salt(self) -> u64 {
+        match self {
+            SeededBug::DroppedFlush => 0xD90F_F1A5,
+            SeededBug::SwappedLogData => 0x5A99_ED10,
+            SeededBug::DoubleFlush => 0xD0B1_EF15,
+        }
+    }
+}
+
+impl std::fmt::Display for SeededBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a bug was planted — the exact site the sanitizer must attribute
+/// its finding to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BugSite {
+    /// Core whose op stream was mutated.
+    pub core: usize,
+    /// Index (into the mutated stream) of the op the finding must name.
+    pub op: usize,
+    /// Target address of the mutated/inserted op.
+    pub addr: u64,
+}
+
+/// A broken trace variant plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct SeededVariant {
+    /// The planted bug.
+    pub bug: SeededBug,
+    /// Ground-truth site of the expected finding.
+    pub site: BugSite,
+    /// The mutated trace.
+    pub trace: MultiCoreTrace,
+    /// Per-core, per-op semantic classes, mutated in lock-step with the
+    /// trace (the dropped-flush victim keeps its `DataInPlace` class —
+    /// the *intent* of the op is unchanged, only its durability is).
+    pub classes: Vec<Vec<OpClass>>,
+}
+
+/// Block-aligned indices spanned by `[addr, addr+len)`.
+fn blocks_spanned(addr: u64, len: u32, block_bytes: u64) -> (u64, u64) {
+    let first = addr / block_bytes;
+    let last = (addr + u64::from(len).max(1) - 1) / block_bytes;
+    (first, last)
+}
+
+fn spans_intersect(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 <= b.1 && b.0 <= a.1
+}
+
+/// Transaction ranges `[start, commit_index]` of one core's op stream.
+fn tx_ranges(ops: &[TraceOp]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, op) in ops.iter().enumerate() {
+        if matches!(op, TraceOp::Commit) {
+            out.push((start, i));
+            start = i + 1;
+        }
+    }
+    out
+}
+
+/// Plants `bug` into a deterministically (by `seed`) chosen eligible site
+/// of `annotated`. Returns `None` if the trace exposes no eligible site
+/// (e.g. no in-place update whose blocks are private to it within its
+/// transaction). `block_bytes` must match the simulator configuration the
+/// variant will be replayed under — eligibility is block-granular.
+#[must_use]
+pub fn seed_bug(
+    annotated: &AnnotatedTrace,
+    bug: SeededBug,
+    seed: u64,
+    block_bytes: u64,
+) -> Option<SeededVariant> {
+    let sites = eligible_sites(annotated, bug, block_bytes);
+    if sites.is_empty() {
+        return None;
+    }
+    let mut rng = DetRng::seed_from(seed ^ bug.salt());
+    let (core, op) = sites[rng.gen_index(sites.len())];
+    let mut trace = annotated.trace.clone();
+    let mut classes = annotated.classes.clone();
+    let ops = &mut trace.cores[core];
+    let cls = &mut classes[core];
+    let site = match bug {
+        SeededBug::DroppedFlush => {
+            let TraceOp::Store { addr, len } = ops[op] else {
+                unreachable!("eligible site is a store");
+            };
+            ops[op] = TraceOp::StoreRelaxed { addr, len };
+            BugSite { core, op, addr }
+        }
+        SeededBug::SwappedLogData => {
+            ops.swap(op, op + 1);
+            cls.swap(op, op + 1);
+            let TraceOp::Store { addr, .. } = ops[op] else {
+                unreachable!("swapped-in data op is a store");
+            };
+            BugSite { core, op, addr }
+        }
+        SeededBug::DoubleFlush => {
+            let TraceOp::Store { addr, len } = ops[op] else {
+                unreachable!("eligible site is a store");
+            };
+            ops.insert(op + 1, TraceOp::Flush { addr, len });
+            cls.insert(op + 1, OpClass::Flush);
+            BugSite { core, op: op + 1, addr }
+        }
+    };
+    Some(SeededVariant {
+        bug,
+        site,
+        trace,
+        classes,
+    })
+}
+
+/// `(core, op)` sites where `bug` can be planted with an unambiguous
+/// expected finding.
+fn eligible_sites(
+    annotated: &AnnotatedTrace,
+    bug: SeededBug,
+    block_bytes: u64,
+) -> Vec<(usize, usize)> {
+    let mut sites = Vec::new();
+    for (core, (ops, classes)) in annotated
+        .trace
+        .cores
+        .iter()
+        .zip(&annotated.classes)
+        .enumerate()
+    {
+        match bug {
+            SeededBug::DroppedFlush => {
+                // A data store (in-place or fresh — both must be durable
+                // by commit) whose blocks no other store or flush of the
+                // same transaction touches — otherwise that other access
+                // would persist the victim's block as a side effect (same
+                // cache line) and mask the bug.
+                for &(start, end) in &tx_ranges(ops) {
+                    for i in start..end {
+                        if !matches!(classes[i], OpClass::DataInPlace | OpClass::DataFresh) {
+                            continue;
+                        }
+                        let TraceOp::Store { addr, len } = ops[i] else {
+                            continue;
+                        };
+                        let span = blocks_spanned(addr, len, block_bytes);
+                        let private = (start..=end).all(|j| {
+                            if j == i {
+                                return true;
+                            }
+                            match ops[j] {
+                                TraceOp::Store { addr, len }
+                                | TraceOp::StoreRelaxed { addr, len }
+                                | TraceOp::Flush { addr, len } => !spans_intersect(
+                                    span,
+                                    blocks_spanned(addr, len, block_bytes),
+                                ),
+                                _ => true,
+                            }
+                        });
+                        if private {
+                            sites.push((core, i));
+                        }
+                    }
+                }
+            }
+            SeededBug::SwappedLogData => {
+                // A log append immediately followed by the in-place
+                // update it guards (the runtime always emits them
+                // adjacently).
+                for i in 0..classes.len().saturating_sub(1) {
+                    let OpClass::LogAppend {
+                        guard_addr,
+                        guard_len,
+                    } = classes[i]
+                    else {
+                        continue;
+                    };
+                    if classes[i + 1] == OpClass::DataInPlace
+                        && ops[i + 1]
+                            == (TraceOp::Store {
+                                addr: guard_addr,
+                                len: guard_len,
+                            })
+                    {
+                        sites.push((core, i));
+                    }
+                }
+            }
+            SeededBug::DoubleFlush => {
+                for (i, class) in classes.iter().enumerate() {
+                    if matches!(class, OpClass::DataInPlace | OpClass::DataFresh)
+                        && matches!(ops[i], TraceOp::Store { .. })
+                    {
+                        sites.push((core, i));
+                    }
+                }
+            }
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{self, WorkloadConfig, WorkloadKind};
+
+    fn tiny_annotated(kind: WorkloadKind) -> AnnotatedTrace {
+        let mut cfg = WorkloadConfig::paper_default(kind).scaled(0.01);
+        cfg.cores = 2;
+        cfg.footprint = if kind == WorkloadKind::Swap { 32 } else { 2000 };
+        cfg.prepopulate = cfg.footprint / 2;
+        spec::generate_annotated(cfg)
+    }
+
+    #[test]
+    fn classes_align_with_ops() {
+        for kind in WorkloadKind::ALL {
+            let a = tiny_annotated(kind);
+            for (ops, classes) in a.trace.cores.iter().zip(&a.classes) {
+                assert_eq!(ops.len(), classes.len(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_bug_seeds_into_every_workload() {
+        for kind in WorkloadKind::ALL {
+            let a = tiny_annotated(kind);
+            for bug in SeededBug::ALL {
+                // Swap is log-free by design (its writes are their own
+                // inverse), so the log/data inversion has no site there.
+                if kind == WorkloadKind::Swap && bug == SeededBug::SwappedLogData {
+                    assert!(seed_bug(&a, bug, 7, 128).is_none());
+                    continue;
+                }
+                let v = seed_bug(&a, bug, 7, 128)
+                    .unwrap_or_else(|| panic!("{kind}: no eligible {bug} site"));
+                assert_eq!(v.bug, bug);
+                assert!(v.site.core < v.trace.cores.len());
+                assert!(v.site.op < v.trace.cores[v.site.core].len());
+                for (ops, classes) in v.trace.cores.iter().zip(&v.classes) {
+                    assert_eq!(ops.len(), classes.len(), "{kind} {bug}: classes drifted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a = tiny_annotated(WorkloadKind::Btree);
+        let v1 = seed_bug(&a, SeededBug::DroppedFlush, 7, 128).expect("site");
+        let v2 = seed_bug(&a, SeededBug::DroppedFlush, 7, 128).expect("site");
+        assert_eq!(v1.site, v2.site);
+        assert_eq!(v1.trace.cores, v2.trace.cores);
+        let sites: Vec<BugSite> = (0..16)
+            .filter_map(|s| seed_bug(&a, SeededBug::DroppedFlush, s, 128))
+            .map(|v| v.site)
+            .collect();
+        assert!(
+            sites.iter().any(|s| *s != sites[0]),
+            "different seeds should reach different sites"
+        );
+    }
+
+    #[test]
+    fn dropped_flush_demotes_exactly_one_store() {
+        let a = tiny_annotated(WorkloadKind::Hashmap);
+        let v = seed_bug(&a, SeededBug::DroppedFlush, 3, 128).expect("site");
+        let relaxed: Vec<usize> = v.trace.cores[v.site.core]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| matches!(op, TraceOp::StoreRelaxed { .. }).then_some(i))
+            .collect();
+        assert_eq!(relaxed, vec![v.site.op]);
+        assert_eq!(
+            v.trace.total_stores(),
+            a.trace.total_stores(),
+            "relaxed store still counts as a store"
+        );
+    }
+
+    #[test]
+    fn swapped_log_data_keeps_op_multiset() {
+        let a = tiny_annotated(WorkloadKind::Ctree);
+        let v = seed_bug(&a, SeededBug::SwappedLogData, 3, 128).expect("site");
+        let ops = &v.trace.cores[v.site.core];
+        // The data op now precedes its own log append.
+        assert!(matches!(ops[v.site.op], TraceOp::Store { addr, .. } if addr == v.site.addr));
+        let mut orig = a.trace.cores[v.site.core].clone();
+        let mut mutated = ops.clone();
+        orig.sort_by_key(|op| format!("{op:?}"));
+        mutated.sort_by_key(|op| format!("{op:?}"));
+        assert_eq!(orig, mutated, "swap must not add or drop ops");
+    }
+
+    #[test]
+    fn double_flush_inserts_after_its_store() {
+        let a = tiny_annotated(WorkloadKind::Swap);
+        let v = seed_bug(&a, SeededBug::DoubleFlush, 3, 128).expect("site");
+        let ops = &v.trace.cores[v.site.core];
+        assert!(matches!(ops[v.site.op], TraceOp::Flush { addr, .. } if addr == v.site.addr));
+        assert!(matches!(ops[v.site.op - 1], TraceOp::Store { addr, .. } if addr == v.site.addr));
+        assert_eq!(ops.len(), a.trace.cores[v.site.core].len() + 1);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for b in SeededBug::ALL {
+            assert_eq!(SeededBug::from_name(b.name()), Some(b));
+        }
+        assert_eq!(SeededBug::from_name("nope"), None);
+    }
+}

@@ -108,7 +108,7 @@ impl CritBitTree {
             rt.write_u64(leaf_addr(best) + 8, blob); // CoW pointer swing
             return;
         }
-        let crit = 63 - (best_key ^ key).leading_zeros() as u64;
+        let crit = 63 - u64::from((best_key ^ key).leading_zeros());
         let new_leaf = self.new_leaf(rt, key, fill);
 
         // Splice a fresh internal node where the path first decides below

@@ -6,7 +6,7 @@
 //! execute — the emitted store trace is the true memory behaviour of the
 //! structure, not a synthetic approximation.
 
-use std::collections::HashMap;
+use thoth_sim_engine::FastMap;
 
 /// Page size of the sparse backing store (an implementation detail, not
 /// the architectural page size).
@@ -32,7 +32,7 @@ const ALIGN: u64 = 16;
 pub struct PersistentHeap {
     base: u64,
     brk: u64,
-    pages: HashMap<u64, Vec<u8>>,
+    pages: FastMap<u64, Vec<u8>>,
 }
 
 impl PersistentHeap {
@@ -42,7 +42,7 @@ impl PersistentHeap {
         PersistentHeap {
             base,
             brk: base,
-            pages: HashMap::new(),
+            pages: FastMap::default(),
         }
     }
 
@@ -140,7 +140,7 @@ mod tests {
         assert_eq!(a, 0x1000);
         assert_eq!(b, 0x1010, "10 rounds to 16");
         assert_eq!(c, 0x1020);
-        assert!(a % 16 == 0 && b % 16 == 0 && c % 16 == 0);
+        assert!(a.is_multiple_of(16) && b.is_multiple_of(16) && c.is_multiple_of(16));
         assert_eq!(h.allocated(), 0x20 + 112);
     }
 

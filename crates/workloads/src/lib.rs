@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod btree;
+pub mod corpus;
 pub mod ctree;
 pub mod hashmap;
 pub mod heap;
@@ -34,8 +35,9 @@ pub mod spec;
 pub mod swap;
 pub mod trace_io;
 
+pub use corpus::{BugSite, SeededBug, SeededVariant};
 pub use heap::PersistentHeap;
-pub use runtime::{CoreTrace, MultiCoreTrace, TraceOp, TxRuntime};
+pub use runtime::{AnnotatedTrace, CoreTrace, MultiCoreTrace, OpClass, TraceOp, TxRuntime};
 pub use spec::{WorkloadConfig, WorkloadKind};
 
 // Trace import/export lives in [`trace_io`].

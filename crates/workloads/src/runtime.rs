@@ -26,9 +26,63 @@ pub enum TraceOp {
         /// Length in bytes.
         len: u32,
     },
+    /// A store that stays in the volatile cache hierarchy until a later
+    /// [`TraceOp::Flush`] writes it back (the `mov` + `clwb` idiom;
+    /// [`TraceOp::Store`] models non-temporal stores whose write-back is
+    /// implicit). On its own it creates **no** durable-ordering edge.
+    StoreRelaxed {
+        /// Byte address.
+        addr: u64,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Cache-line write-back of `[addr, addr+len)` (`clwb`): every
+    /// relaxed-dirty block in the range enters the persistence domain.
+    Flush {
+        /// Byte address.
+        addr: u64,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// A persist barrier (`sfence`) without commit semantics: the core
+    /// waits for every outstanding persist ACK before continuing.
+    Fence,
     /// The transaction's persist barrier (sfence after the commit record):
     /// every prior store must be ACKed persistent before the core
     /// continues.
+    Commit,
+}
+
+/// The transactional role of one [`TraceOp`] — recorded alongside the
+/// trace by [`TxRuntime`] so the persistency sanitizer (`thoth-psan`) can
+/// check the undo-logging discipline op by op. The class stream is always
+/// index-aligned with the op stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// A read access.
+    Read,
+    /// An undo-log append guarding the in-place update of
+    /// `[guard_addr, guard_addr + guard_len)`. Must be persist-ordered
+    /// before that update (write-ahead logging).
+    LogAppend {
+        /// Address of the data range this log entry guards.
+        guard_addr: u64,
+        /// Length of the guarded range.
+        guard_len: u32,
+    },
+    /// The commit record making the transaction durable.
+    CommitRecord,
+    /// An in-place data update (guarded by a [`OpClass::LogAppend`] of the
+    /// same transaction).
+    DataInPlace,
+    /// A store to freshly allocated, never-exposed memory (needs no undo
+    /// entry).
+    DataFresh,
+    /// A cache-line write-back.
+    Flush,
+    /// A persist barrier.
+    Fence,
+    /// The transaction's commit barrier.
     Commit,
 }
 
@@ -55,18 +109,32 @@ impl MultiCoreTrace {
             .sum()
     }
 
-    /// Total persistent stores across all cores.
+    /// Total persistent stores across all cores (relaxed stores count:
+    /// they carry persistent data even though their write-back is a
+    /// separate [`TraceOp::Flush`]).
     #[must_use]
     pub fn total_stores(&self) -> usize {
         self.cores
             .iter()
             .map(|c| {
                 c.iter()
-                    .filter(|op| matches!(op, TraceOp::Store { .. }))
+                    .filter(|op| {
+                        matches!(op, TraceOp::Store { .. } | TraceOp::StoreRelaxed { .. })
+                    })
                     .count()
             })
             .sum()
     }
+}
+
+/// A trace together with its per-op [`OpClass`] annotations
+/// (`classes[core][i]` classifies `trace.cores[core][i]`).
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedTrace {
+    /// The op streams.
+    pub trace: MultiCoreTrace,
+    /// Index-aligned class streams, one per core.
+    pub classes: Vec<Vec<OpClass>>,
 }
 
 /// Per-runtime statistics.
@@ -106,11 +174,19 @@ pub struct RuntimeStats {
 pub struct TxRuntime {
     heap: PersistentHeap,
     trace: CoreTrace,
+    /// Index-aligned with `trace`.
+    classes: Vec<OpClass>,
     log_base: u64,
     log_cap: u64,
     log_head: u64,
     in_tx: bool,
     stores_in_tx: u64,
+    /// Ranges undo-logged in the open transaction (dedup: a range's
+    /// pre-transaction image only needs logging once — re-logging it
+    /// would capture an intermediate value, which is both wasted write
+    /// bandwidth and an undo-replay hazard).
+    logged_ranges: Vec<(u64, u64)>,
+    undo_dedup: bool,
     tracing: bool,
     stats: RuntimeStats,
 }
@@ -131,14 +207,25 @@ impl TxRuntime {
         TxRuntime {
             heap,
             trace: Vec::new(),
+            classes: Vec::new(),
             log_base,
             log_cap: LOG_CAP,
             log_head: 0,
             in_tx: false,
             stores_in_tx: 0,
+            logged_ranges: Vec::new(),
+            undo_dedup: true,
             tracing: true,
             stats: RuntimeStats::default(),
         }
+    }
+
+    /// Enables or disables per-transaction undo-log dedup (on by default).
+    /// With dedup off, every [`Self::write`] appends an undo entry even if
+    /// the same range was already logged in the open transaction — the
+    /// covered-log-append smell `thoth-psan` flags.
+    pub fn set_undo_dedup(&mut self, on: bool) {
+        self.undo_dedup = on;
     }
 
     /// Enables or disables trace recording. With tracing off, heap
@@ -178,15 +265,25 @@ impl TxRuntime {
         self.in_tx = true;
         self.stores_in_tx = 0;
         self.log_head = 0;
+        self.logged_ranges.clear();
+    }
+
+    /// Records one op and its class (only while tracing).
+    fn push_op(&mut self, op: TraceOp, class: OpClass) {
+        self.trace.push(op);
+        self.classes.push(class);
     }
 
     /// Reads `len` bytes, recording the access.
     pub fn read(&mut self, addr: u64, len: usize) -> Vec<u8> {
         if self.tracing {
-            self.trace.push(TraceOp::Read {
-                addr,
-                len: len as u32,
-            });
+            self.push_op(
+                TraceOp::Read {
+                    addr,
+                    len: len as u32,
+                },
+                OpClass::Read,
+            );
         }
         self.heap.read(addr, len)
     }
@@ -196,14 +293,17 @@ impl TxRuntime {
         u64::from_le_bytes(self.read(addr, 8).try_into().expect("8 bytes"))
     }
 
-    fn raw_store(&mut self, addr: u64, bytes: &[u8]) {
+    fn raw_store(&mut self, addr: u64, bytes: &[u8], class: OpClass) {
         self.heap.write(addr, bytes);
         self.stores_in_tx += 1;
         if self.tracing {
-            self.trace.push(TraceOp::Store {
-                addr,
-                len: bytes.len() as u32,
-            });
+            self.push_op(
+                TraceOp::Store {
+                    addr,
+                    len: bytes.len() as u32,
+                },
+                class,
+            );
             self.stats.stores += 1;
             self.stats.bytes_stored += bytes.len() as u64;
         }
@@ -221,21 +321,39 @@ impl TxRuntime {
         rec.extend_from_slice(&addr.to_le_bytes());
         rec.extend_from_slice(&(len as u64).to_le_bytes());
         rec.extend_from_slice(&old);
-        self.raw_store(dst, &rec);
+        self.raw_store(
+            dst,
+            &rec,
+            OpClass::LogAppend {
+                guard_addr: addr,
+                guard_len: len as u32,
+            },
+        );
         self.log_head += need;
         self.stats.log_appends += 1;
     }
 
     /// Transactionally writes `bytes` at `addr`: the old contents are
-    /// undo-logged first (write-ahead), then the data is stored.
+    /// undo-logged first (write-ahead), then the data is stored. A range
+    /// already logged by this transaction is not re-logged (see
+    /// [`Self::set_undo_dedup`]).
     ///
     /// # Panics
     ///
     /// Panics outside a transaction.
     pub fn write(&mut self, addr: u64, bytes: &[u8]) {
         assert!(self.in_tx, "transactional write outside a transaction");
-        self.log_append(addr, bytes.len());
-        self.raw_store(addr, bytes);
+        let len = bytes.len() as u64;
+        let covered = self.undo_dedup
+            && self
+                .logged_ranges
+                .iter()
+                .any(|&(a, l)| a <= addr && addr + len <= a + l);
+        if !covered {
+            self.log_append(addr, bytes.len());
+            self.logged_ranges.push((addr, len));
+        }
+        self.raw_store(addr, bytes, OpClass::DataInPlace);
     }
 
     /// Transactionally writes a `u64`.
@@ -247,7 +365,7 @@ impl TxRuntime {
     /// with no undo entry (there is no old state to restore).
     pub fn write_new(&mut self, addr: u64, bytes: &[u8]) {
         assert!(self.in_tx, "transactional write outside a transaction");
-        self.raw_store(addr, bytes);
+        self.raw_store(addr, bytes, OpClass::DataFresh);
     }
 
     /// Writes a `u64` to fresh memory.
@@ -268,9 +386,9 @@ impl TxRuntime {
         if self.stores_in_tx > 0 {
             let rec_addr = self.log_base + self.log_cap - 8;
             let seq = self.stats.txs + 1;
-            self.raw_store(rec_addr, &seq.to_le_bytes());
+            self.raw_store(rec_addr, &seq.to_le_bytes(), OpClass::CommitRecord);
             if self.tracing {
-                self.trace.push(TraceOp::Commit);
+                self.push_op(TraceOp::Commit, OpClass::Commit);
                 self.stats.txs += 1;
             }
         }
@@ -286,6 +404,19 @@ impl TxRuntime {
     pub fn into_trace(self) -> CoreTrace {
         assert!(!self.in_tx, "open transaction at end of trace");
         self.trace
+    }
+
+    /// Finishes tracing and returns the trace together with its
+    /// index-aligned [`OpClass`] stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is still open.
+    #[must_use]
+    pub fn into_annotated(self) -> (CoreTrace, Vec<OpClass>) {
+        assert!(!self.in_tx, "open transaction at end of trace");
+        debug_assert_eq!(self.trace.len(), self.classes.len());
+        (self.trace, self.classes)
     }
 }
 
@@ -388,6 +519,75 @@ mod tests {
         };
         assert_eq!(mc.total_txs(), 1);
         assert_eq!(mc.total_stores(), 2); // data + commit record
+    }
+
+    #[test]
+    fn undo_dedup_skips_covered_ranges() {
+        // Default (dedup on): a range already logged in the open
+        // transaction is not logged again.
+        let mut rt = TxRuntime::new(0);
+        let p = rt.alloc(8);
+        rt.begin();
+        rt.write_new_u64(p, 1);
+        rt.commit();
+        rt.begin();
+        rt.write_u64(p, 2);
+        rt.write_u64(p, 3);
+        rt.commit();
+        assert_eq!(rt.stats().log_appends, 1, "second write is covered");
+
+        // Dedup off: the covered-log-append smell returns (what the
+        // sanitizer flags).
+        let mut rt = TxRuntime::new(0);
+        rt.set_undo_dedup(false);
+        let p = rt.alloc(8);
+        rt.begin();
+        rt.write_new_u64(p, 1);
+        rt.commit();
+        rt.begin();
+        rt.write_u64(p, 2);
+        rt.write_u64(p, 3);
+        rt.commit();
+        assert_eq!(rt.stats().log_appends, 2);
+    }
+
+    #[test]
+    fn undo_dedup_resets_at_transaction_boundaries() {
+        let mut rt = TxRuntime::new(0);
+        let p = rt.alloc(8);
+        rt.begin();
+        rt.write_new_u64(p, 1);
+        rt.commit();
+        for v in [2u64, 3] {
+            rt.begin();
+            rt.write_u64(p, v);
+            rt.commit();
+        }
+        assert_eq!(rt.stats().log_appends, 2, "each tx logs the range once");
+    }
+
+    #[test]
+    fn annotated_classes_mirror_the_ops() {
+        let mut rt = TxRuntime::new(0);
+        let p = rt.alloc(8);
+        rt.begin();
+        rt.write_new_u64(p, 1);
+        rt.commit();
+        rt.begin();
+        rt.write_u64(p, 2);
+        rt.commit();
+        let (ops, classes) = rt.into_annotated();
+        assert_eq!(ops.len(), classes.len());
+        // Transaction 2: log append, in-place data, commit record, commit.
+        let n = ops.len();
+        assert!(matches!(
+            classes[n - 4],
+            OpClass::LogAppend { guard_addr, guard_len } if guard_addr == p && guard_len == 8
+        ));
+        assert_eq!(classes[n - 3], OpClass::DataInPlace);
+        assert_eq!(classes[n - 2], OpClass::CommitRecord);
+        assert_eq!(classes[n - 1], OpClass::Commit);
+        assert!(matches!(ops[n - 1], TraceOp::Commit));
     }
 
     #[test]

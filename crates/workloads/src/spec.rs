@@ -4,7 +4,7 @@
 //! instance of the benchmark for at least 5000 warm-up transactions before
 //! measurement, with command-line-configurable transaction sizes.
 
-use crate::runtime::{MultiCoreTrace, TxRuntime};
+use crate::runtime::{AnnotatedTrace, MultiCoreTrace, TxRuntime};
 use crate::{btree, ctree, hashmap, queue, rbtree, swap};
 use thoth_sim_engine::DetRng;
 
@@ -167,9 +167,20 @@ fn core_heap_base(core: usize) -> u64 {
 /// ```
 #[must_use]
 pub fn generate(config: WorkloadConfig) -> MultiCoreTrace {
+    generate_annotated(config).trace
+}
+
+/// [`generate`], but also returning the per-op [`crate::runtime::OpClass`]
+/// annotations the transaction runtime recorded — the input the
+/// persistency sanitizer (`thoth-psan`) and the seeded-bug corpus
+/// ([`crate::corpus`]) consume. The op streams are byte-identical to
+/// [`generate`]'s.
+#[must_use]
+pub fn generate_annotated(config: WorkloadConfig) -> AnnotatedTrace {
     assert!(config.cores > 0, "need at least one core");
     let mut master = DetRng::seed_from(config.seed);
     let mut cores = Vec::with_capacity(config.cores);
+    let mut classes = Vec::with_capacity(config.cores);
     for core in 0..config.cores {
         let mut rng = master.fork();
         let mut rt = TxRuntime::new(core_heap_base(core));
@@ -185,7 +196,7 @@ pub fn generate(config: WorkloadConfig) -> MultiCoreTrace {
                 config.tx_size,
                 config.footprint,
                 config.delete_per_mille,
-            )
+            );
             }
             WorkloadKind::Rbtree => {
                 rbtree::run(
@@ -196,7 +207,7 @@ pub fn generate(config: WorkloadConfig) -> MultiCoreTrace {
                 config.tx_size,
                 config.footprint,
                 config.delete_per_mille,
-            )
+            );
             }
             WorkloadKind::Hashmap => {
                 hashmap::run(
@@ -207,7 +218,7 @@ pub fn generate(config: WorkloadConfig) -> MultiCoreTrace {
                 config.tx_size,
                 config.footprint,
                 config.delete_per_mille,
-            )
+            );
             }
             WorkloadKind::Ctree => {
                 ctree::run(
@@ -218,18 +229,23 @@ pub fn generate(config: WorkloadConfig) -> MultiCoreTrace {
                 config.tx_size,
                 config.footprint,
                 config.delete_per_mille,
-            )
+            );
             }
             WorkloadKind::Swap => swap::run(&mut rt, &mut rng, txs, config.tx_size, config.footprint),
             WorkloadKind::Queue => {
-                queue::run(&mut rt, &mut rng, txs, config.tx_size, config.footprint)
+                queue::run(&mut rt, &mut rng, txs, config.tx_size, config.footprint);
             }
         }
-        cores.push(rt.into_trace());
+        let (ops, cls) = rt.into_annotated();
+        cores.push(ops);
+        classes.push(cls);
     }
-    MultiCoreTrace {
-        cores,
-        warmup_txs_per_core: config.warmup_txs_per_core,
+    AnnotatedTrace {
+        trace: MultiCoreTrace {
+            cores,
+            warmup_txs_per_core: config.warmup_txs_per_core,
+        },
+        classes,
     }
 }
 

@@ -11,6 +11,9 @@
 //! warmup <txs>        — warm-up transactions per core (once, at the top)
 //! R <addr> <len>      — read
 //! W <addr> <len>      — persistent store
+//! V <addr> <len>      — relaxed store (volatile until flushed; mov+clwb)
+//! F <addr> <len>      — cache-line write-back (clwb)
+//! B                   — persist barrier (sfence) without commit
 //! C                   — commit (persist barrier)
 //! ```
 //!
@@ -51,6 +54,15 @@ pub fn to_text(trace: &MultiCoreTrace) -> String {
                 }
                 TraceOp::Store { addr, len } => {
                     let _ = writeln!(out, "W {addr:#x} {len}");
+                }
+                TraceOp::StoreRelaxed { addr, len } => {
+                    let _ = writeln!(out, "V {addr:#x} {len}");
+                }
+                TraceOp::Flush { addr, len } => {
+                    let _ = writeln!(out, "F {addr:#x} {len}");
+                }
+                TraceOp::Fence => {
+                    let _ = writeln!(out, "B");
                 }
                 TraceOp::Commit => {
                     let _ = writeln!(out, "C");
@@ -133,7 +145,7 @@ pub fn from_text(text: &str) -> Result<MultiCoreTrace, ParseError> {
                 trace.cores.push(Vec::new());
                 current = Some(n);
             }
-            "R" | "W" => {
+            "R" | "W" | "V" | "F" => {
                 let addr = parse_u64(
                     toks.next().ok_or(ParseError {
                         line,
@@ -153,19 +165,24 @@ pub fn from_text(text: &str) -> Result<MultiCoreTrace, ParseError> {
                     line,
                     message: "op before any `core` directive".into(),
                 })?;
-                trace.cores[core].push(if op == "R" {
-                    TraceOp::Read { addr, len }
-                } else {
-                    TraceOp::Store { addr, len }
+                trace.cores[core].push(match op {
+                    "R" => TraceOp::Read { addr, len },
+                    "W" => TraceOp::Store { addr, len },
+                    "V" => TraceOp::StoreRelaxed { addr, len },
+                    _ => TraceOp::Flush { addr, len },
                 });
             }
-            "C" => {
+            "C" | "B" => {
                 expect_end(toks)?;
                 let core = current.ok_or(ParseError {
                     line,
                     message: "op before any `core` directive".into(),
                 })?;
-                trace.cores[core].push(TraceOp::Commit);
+                trace.cores[core].push(if op == "C" {
+                    TraceOp::Commit
+                } else {
+                    TraceOp::Fence
+                });
             }
             other => {
                 return Err(ParseError {
@@ -225,6 +242,32 @@ C
             }
         );
         assert_eq!(t.cores[0][3], TraceOp::Read { addr: 4096, len: 16 });
+    }
+
+    #[test]
+    fn relaxed_flush_fence_ops_roundtrip() {
+        let text = "\
+core 0
+V 0x1000 64
+F 0x1000 64
+B
+W 0x2000 8
+C
+";
+        let t = from_text(text).expect("parse");
+        assert_eq!(
+            t.cores[0],
+            vec![
+                TraceOp::StoreRelaxed { addr: 0x1000, len: 64 },
+                TraceOp::Flush { addr: 0x1000, len: 64 },
+                TraceOp::Fence,
+                TraceOp::Store { addr: 0x2000, len: 8 },
+                TraceOp::Commit,
+            ]
+        );
+        assert_eq!(t.total_stores(), 2, "relaxed stores count as stores");
+        let back = from_text(&to_text(&t)).expect("reparse");
+        assert_eq!(back.cores, t.cores);
     }
 
     #[test]
