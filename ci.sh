@@ -25,4 +25,10 @@ cargo run -q --release --locked -p thoth-experiments -- crashtest --quick
 echo "== psan (sanitizer clean sweep + seeded-bug corpus) =="
 cargo run -q --release --locked -p thoth-experiments -- psan --quick
 
+echo "== telemetry (observability layer unit tests) =="
+cargo test -q --locked -p thoth-telemetry
+
+echo "== telemetry smoke (neutrality + artifact schema, one workload) =="
+cargo run -q --release --locked -p thoth-experiments -- telemetry --quick
+
 echo "ci: all green"

@@ -23,6 +23,7 @@ use crate::policy::{BlockView, EvictOutcome, EvictionPolicy, MetadataKind};
 use crate::pub_buffer::{PubBuffer, PubConfig, PubStats};
 
 use std::collections::BTreeMap;
+use thoth_telemetry::QueueProbe;
 
 /// Host callbacks the engine drives (see module docs).
 pub trait ThothHost {
@@ -57,6 +58,10 @@ pub struct ThothEngine {
     codec: PubBlockCodec,
     outcomes: BTreeMap<EvictOutcome, u64>,
     policy_persists: u64,
+    /// Telemetry probes over PCB buffered updates and PUB fill; `None`
+    /// (off) by default — the insert path pays one branch each.
+    pcb_probe: Option<QueueProbe>,
+    pub_probe: Option<QueueProbe>,
 }
 
 impl ThothEngine {
@@ -73,6 +78,45 @@ impl ThothEngine {
             codec,
             outcomes: BTreeMap::new(),
             policy_persists: 0,
+            pcb_probe: None,
+            pub_probe: None,
+        }
+    }
+
+    /// Installs telemetry probes over the PCB (buffered partial updates)
+    /// and the PUB (valid blocks), recorded after every insert/eviction.
+    pub fn attach_probes(&mut self, pcb: QueueProbe, pub_: QueueProbe) {
+        self.pcb_probe = Some(pcb);
+        self.pub_probe = Some(pub_);
+    }
+
+    /// Removes and returns the probes as `(pcb, pub)`, if attached.
+    pub fn take_probes(&mut self) -> Option<(QueueProbe, QueueProbe)> {
+        match (self.pcb_probe.take(), self.pub_probe.take()) {
+            (Some(p), Some(q)) => Some((p, q)),
+            _ => None,
+        }
+    }
+
+    /// Maximum partial updates the PCB can buffer (slots × entries per
+    /// packed block) — the capacity bound for its occupancy probe.
+    #[must_use]
+    pub fn pcb_capacity_updates(&self) -> usize {
+        self.pcb.num_slots() * self.codec.entries_per_block()
+    }
+
+    /// Partial updates currently buffered in the PCB.
+    #[must_use]
+    pub fn pcb_buffered_updates(&self) -> usize {
+        self.pcb.buffered_updates()
+    }
+
+    fn note_occupancies(&mut self) {
+        if let Some(p) = self.pcb_probe.as_mut() {
+            p.record(self.pcb.buffered_updates() as u64);
+        }
+        if let Some(p) = self.pub_probe.as_mut() {
+            p.record(self.pub_buf.len_blocks());
         }
     }
 
@@ -116,7 +160,8 @@ impl ThothEngine {
     /// full blocks into the PUB, and services eviction pressure (the 80%
     /// threshold) through the host.
     pub fn insert(&mut self, update: PartialUpdate, host: &mut impl ThothHost) {
-        match self.pcb.insert(update) {
+        let r = self.pcb.insert(update);
+        match r {
             PcbInsert::Merged | PcbInsert::Added => {}
             PcbInsert::Emit(block) => {
                 // PUB append is one atomic transition: write the packed
@@ -134,6 +179,7 @@ impl ThothEngine {
                 }
             }
         }
+        self.note_occupancies();
     }
 
     /// Evicts the oldest PUB block, classifying every entry and persisting
@@ -334,6 +380,27 @@ mod tests {
         assert_eq!(e.recovery_scan().len(), 1);
         e.clear();
         assert!(e.recovery_scan().is_empty());
+    }
+
+    #[test]
+    fn probes_track_pcb_and_pub_occupancy() {
+        let mut e = tiny_engine(100);
+        let mut h = ScriptedHost::new();
+        let pcb_cap = e.pcb_capacity_updates() as u64;
+        assert_eq!(pcb_cap, 18, "2 slots x 9 entries per 128 B block");
+        e.attach_probes(
+            QueueProbe::new("pcb", pcb_cap),
+            QueueProbe::new("pub", e.pub_buffer().capacity_blocks() as u64),
+        );
+        for i in 0..19 {
+            e.insert(pu(i, false), &mut h);
+        }
+        let (pcb, pub_) = e.take_probes().expect("probes attached");
+        assert!(pcb.within_capacity());
+        assert!(pub_.within_capacity());
+        assert_eq!(pcb.samples(), 19, "one sample per insert");
+        assert_eq!(pub_.peak(), 1, "one packed block emitted");
+        assert!(e.take_probes().is_none());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | §IV-D | [`crashtest`] | crash-injection sweep + recovery audit |
 //! | (extensions) | [`ablation`] | PUB/PCB knobs, PCB arrangement, eADR |
 //! | (extensions) | [`lifetime`] | write totals + wear concentration per mode |
+//! | (extensions) | [`telemetry`] | instrumented runs: timelines, traces, neutrality |
 //!
 //! Each experiment prints a text table (and returns structured rows) so
 //! the binary's output can be diffed against `EXPERIMENTS.md`.
@@ -35,6 +36,7 @@ pub mod psan;
 pub mod recovery;
 pub mod runner;
 pub mod tablefmt;
+pub mod telemetry;
 pub mod txsweep;
 pub mod wpqsweep;
 

@@ -4,8 +4,8 @@
 //! thoth-experiments [EXPERIMENT ...] [--scale F] [--quick] [--csv DIR]
 //!
 //! EXPERIMENT: fig3 | headline | fig8 | fig9 | fig10 | table2 | table3 |
-//!             fig11 | fig12 | anubis | recovery | crashtest | psan | all
-//!             (default: all)
+//!             fig11 | fig12 | anubis | recovery | crashtest | psan |
+//!             telemetry | all (default: all)
 //! --scale F   transaction-count scale factor (default 0.25)
 //! --seed N    workload RNG seed
 //! --quick     tiny smoke-test scale (0.02)
@@ -15,8 +15,8 @@
 use thoth_experiments::runner::ExpSettings;
 use thoth_experiments::tablefmt::Table;
 use thoth_experiments::{
-    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, psan, recovery, txsweep,
-    wpqsweep,
+    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, psan, recovery, telemetry,
+    txsweep, wpqsweep,
 };
 
 use std::path::PathBuf;
@@ -131,6 +131,20 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "telemetry" => {
+                // Instrumented runs default to the quick trace scale so
+                // artifacts regenerate quickly; --scale overrides.
+                let mut s = settings;
+                if !scale_given {
+                    s.scale = ExpSettings::quick().scale;
+                }
+                let out = telemetry::run(s, quick);
+                emit(out.tables, "telemetry");
+                if !out.ok {
+                    eprintln!("telemetry: FAILED (non-neutral or invalid artifact, see above)");
+                    std::process::exit(1);
+                }
+            }
             "ablation" => emit(ablation::run(settings), "ablation"),
             "lifetime" => emit(lifetime::run(settings), "lifetime"),
             "all" => {}
@@ -175,6 +189,10 @@ EXPERIMENTS:
             + seeded-bug corpus (every planted bug caught at its site),
             writes results/psan.json; exits non-zero on any miss
             (quick scale unless --scale)
+  telemetry instrumented headline runs: occupancy timelines, counters,
+            Chrome trace_event JSON under results/telemetry/, with a
+            telemetry-off-vs-on neutrality check; exits non-zero on any
+            non-neutral or invalid point (quick scale unless --scale)
   ablation  PUB/PCB design-space sweeps, PCB arrangement, eADR
   lifetime  NVM write totals + wear concentration per mode
   all       everything above (default)

@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use thoth_sim::{Mode, SimConfig, SimReport};
+use thoth_telemetry::ProgressSink;
 use thoth_workloads::{spec, MultiCoreTrace, WorkloadConfig, WorkloadKind};
 
 /// Global experiment settings.
@@ -172,13 +173,11 @@ pub fn run_jobs_sequential<K: Send + std::fmt::Debug>(jobs: Vec<Job<K>>) -> Vec<
         .collect()
 }
 
-/// One progress line per finished simulation (stderr, so table output on
-/// stdout stays machine-readable).
+/// One progress line per finished simulation, routed through the
+/// telemetry [`ProgressSink`] (stderr, so table output on stdout stays
+/// machine-readable; tests swap in the capture variant).
 fn log_job_done<K: std::fmt::Debug>(done: usize, total: usize, key: &K, started: Instant) {
-    eprintln!(
-        "[thoth-experiments] job {done}/{total} {key:?} finished in {:.2?}",
-        started.elapsed()
-    );
+    ProgressSink::Stderr.job_done(done, total, key, started.elapsed());
 }
 
 /// Builds a `SimConfig` for a mode and block size with the experiment

@@ -71,7 +71,7 @@ impl fmt::Display for Rule {
 }
 
 /// Crates whose hot paths forbid std hashing.
-pub const HOT_CRATES: [&str; 11] = [
+pub const HOT_CRATES: [&str; 12] = [
     "cache",
     "core",
     "crashtest",
@@ -82,6 +82,7 @@ pub const HOT_CRATES: [&str; 11] = [
     "psan",
     "sim",
     "sim-engine",
+    "telemetry",
     "workloads",
 ];
 

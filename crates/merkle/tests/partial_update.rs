@@ -1,0 +1,119 @@
+//! Regression tests for the tree's partial-update paths: ragged last
+//! groups (leaf counts that are not a power of the arity), repeated
+//! updates of one leaf, and the shadow tracker's no-op transitions —
+//! the paths the inline unit tests exercise only on round shapes.
+
+use thoth_merkle::{BonsaiTree, MerkleConfig, NodeId, ShadowTracker};
+use thoth_testkit::check;
+
+#[test]
+fn ragged_last_group_updates_and_verifies() {
+    // 11 leaves at arity 8: level 1 has nodes of 8 and 3 children.
+    let cfg = MerkleConfig::new(8, 11);
+    assert_eq!(cfg.levels(), 3);
+    assert_eq!(cfg.nodes_at(1), 2);
+    let mut t = BonsaiTree::new(cfg, 9);
+    let path = t.update_leaf(10, 0x55); // last leaf, 3-child parent
+    assert_eq!(path.len(), 3);
+    assert_eq!(path[1], NodeId { level: 1, index: 1 });
+    assert!(t.verify_leaf(10, 0x55));
+    assert!(t.verify_leaf(8, 0), "untouched sibling still defaults");
+    // The ragged shape hashes the same whether built incrementally or
+    // from scratch.
+    let rebuilt = BonsaiTree::from_leaves(cfg, 9, [(10, 0x55)]);
+    assert_eq!(t.root(), rebuilt.root());
+}
+
+#[test]
+fn repeated_partial_updates_converge() {
+    let cfg = MerkleConfig::new(8, 100);
+    let mut t = BonsaiTree::new(cfg, 3);
+    t.update_leaf(42, 1);
+    let r1 = t.root();
+    let before = t.materialized_nodes();
+    t.update_leaf(42, 2);
+    assert_ne!(t.root(), r1);
+    t.update_leaf(42, 1);
+    assert_eq!(t.root(), r1, "restoring the leaf restores the root");
+    assert_eq!(
+        t.materialized_nodes(),
+        before,
+        "re-updating one leaf materializes no new nodes"
+    );
+}
+
+#[test]
+fn overlapping_paths_share_interior_nodes() {
+    let mut t = BonsaiTree::new(MerkleConfig::new(8, 64), 5);
+    t.update_leaf(0, 1);
+    let one_path = t.materialized_nodes();
+    t.update_leaf(1, 2); // same parent all the way up
+    assert_eq!(
+        t.materialized_nodes(),
+        one_path + 1,
+        "siblings add only their own leaf"
+    );
+}
+
+#[test]
+fn config_accessor_round_trips() {
+    let cfg = MerkleConfig::new(4, 33);
+    let t = BonsaiTree::new(cfg, 0);
+    assert_eq!(t.config(), cfg);
+    assert_eq!(t.levels(), cfg.levels());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn hash_of_rejects_bad_level() {
+    let t = BonsaiTree::new(MerkleConfig::new(8, 8), 0);
+    let _ = t.hash_of(NodeId { level: 2, index: 0 });
+}
+
+#[test]
+#[should_panic(expected = "arity")]
+fn config_rejects_unary_trees() {
+    let _ = MerkleConfig::new(1, 10);
+}
+
+#[test]
+#[should_panic(expected = "at least one leaf")]
+fn config_rejects_empty_trees() {
+    let _ = MerkleConfig::new(8, 0);
+}
+
+/// Ragged shapes behave like round ones: for random leaf counts and
+/// update sets, every current value verifies and incremental equals
+/// rebuilt.
+#[test]
+fn ragged_shapes_verify_property() {
+    check(48, |g| {
+        let leaves = g.range(2, 200); // mostly non-powers of 8
+        let cfg = MerkleConfig::new(8, leaves);
+        let mut t = BonsaiTree::new(cfg, 11);
+        let updates = g.vec_of(1, 20, |g| (g.below(leaves), g.u64()));
+        let mut last = std::collections::BTreeMap::new();
+        for &(i, v) in &updates {
+            t.update_leaf(i, v);
+            last.insert(i, v);
+        }
+        for (&i, &v) in &last {
+            assert!(t.verify_leaf(i, v), "leaf {i} of {leaves} must verify");
+        }
+        let rebuilt = BonsaiTree::from_leaves(cfg, 11, last);
+        assert_eq!(t.root(), rebuilt.root());
+    });
+}
+
+#[test]
+fn shadow_tracker_noop_transitions_cost_nothing() {
+    let mut s = ShadowTracker::new();
+    assert!(!s.note_clean(0x40), "cleaning an untracked address");
+    assert_eq!(s.updates(), 0);
+    assert_eq!(s.block_writes(8), 0, "no updates, no shadow blocks");
+    assert!(s.tracked().is_empty());
+    s.note_dirty(0x40);
+    s.note_dirty(0x40); // duplicate: set semantics, one update
+    assert_eq!(s.updates(), 1);
+    assert_eq!(s.len(), 1);
+}

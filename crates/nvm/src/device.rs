@@ -3,6 +3,7 @@
 use crate::category::WriteCategory;
 use crate::wear::WearTracker;
 use thoth_sim_engine::{Cycle, FastMap, Frequency};
+use thoth_telemetry::QueueProbe;
 
 /// Static configuration of the NVM device (paper Table I defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,9 @@ pub struct NvmDevice {
     /// Timed accesses issued through [`Self::time_access`].
     timed_reads: u64,
     timed_writes: u64,
+    /// Telemetry probe recording busy-bank counts per timed access.
+    /// `None` (the default) keeps the timing path probe-free.
+    probe: Option<QueueProbe>,
 }
 
 impl NvmDevice {
@@ -103,6 +107,7 @@ impl NvmDevice {
             writes_by_cat: [0; WriteCategory::ALL.len()],
             timed_reads: 0,
             timed_writes: 0,
+            probe: None,
         }
     }
 
@@ -304,7 +309,36 @@ impl NvmDevice {
         } else {
             self.timed_reads += 1;
         }
+        if let Some(p) = self.probe.as_mut() {
+            let busy = self
+                .bank_busy_until
+                .iter()
+                .filter(|&&until| until > now)
+                .count();
+            p.record(busy as u64);
+        }
         done
+    }
+
+    /// Number of banks still busy at `now` — the device-side queue-depth
+    /// proxy the telemetry timeline samples.
+    #[must_use]
+    pub fn queue_depth(&self, now: Cycle) -> u64 {
+        self.bank_busy_until
+            .iter()
+            .filter(|&&until| until > now)
+            .count() as u64
+    }
+
+    /// Installs a telemetry probe recording busy-bank counts at every
+    /// timed access.
+    pub fn attach_probe(&mut self, probe: QueueProbe) {
+        self.probe = Some(probe);
+    }
+
+    /// Removes and returns the telemetry probe, if any.
+    pub fn take_probe(&mut self) -> Option<QueueProbe> {
+        self.probe.take()
     }
 
     /// Earliest cycle at which a new access to `addr` could start.
@@ -531,5 +565,32 @@ mod tests {
     fn partial_write_panics() {
         let mut d = dev();
         d.write_block(0, &[0; 64], WriteCategory::Data);
+    }
+
+    #[test]
+    fn queue_depth_counts_busy_banks() {
+        let mut d = dev();
+        assert_eq!(d.queue_depth(Cycle(0)), 0);
+        d.time_access(Cycle(0), 0, true); // bank 0 busy until 2000
+        d.time_access(Cycle(0), 128, false); // bank 1 busy until 600
+        assert_eq!(d.queue_depth(Cycle(0)), 2);
+        assert_eq!(d.queue_depth(Cycle(1000)), 1);
+        assert_eq!(d.queue_depth(Cycle(2000)), 0);
+    }
+
+    #[test]
+    fn probe_records_busy_banks_and_detaches() {
+        let mut d = dev();
+        d.attach_probe(QueueProbe::new("nvm_banks", 16));
+        d.time_access(Cycle(0), 0, true);
+        d.time_access(Cycle(0), 128, true);
+        let p = d.take_probe().expect("probe attached");
+        assert_eq!(p.samples(), 2);
+        assert_eq!(p.peak(), 2);
+        assert!(p.within_capacity());
+        assert!(d.take_probe().is_none());
+        // Timing results are probe-independent.
+        let done = d.time_access(Cycle(0), 0, true);
+        assert_eq!(done, Cycle(4000));
     }
 }

@@ -30,6 +30,7 @@ pub mod layout;
 pub mod machine;
 pub mod psan_events;
 pub mod report;
+pub mod telemetry;
 
 pub use config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
 pub use crash::{CrashControl, CrashPlan, CrashSiteCounts, CrashSiteKind, LoggedOp};
@@ -38,6 +39,8 @@ pub use layout::MemoryLayout;
 pub use machine::SecureNvm;
 pub use psan_events::{MetaMech, PersistEvent, PersistEventKind, PsanRecorder, NO_CTX};
 pub use report::{RecoveryReport, SimReport};
+pub use telemetry::MachineTelemetry;
+pub use thoth_telemetry::{TelemetryConfig, TelemetryReport};
 
 use thoth_workloads::MultiCoreTrace;
 

@@ -7,6 +7,7 @@ use crate::diagnostics::{byte_digest, LeafMismatch, MacMismatch};
 use crate::layout::MemoryLayout;
 use crate::psan_events::{MetaMech, PersistEvent, PersistEventKind, PsanRecorder, NO_CTX};
 use crate::report::{RecoveryReport, SimReport};
+use crate::telemetry::MachineTelemetry;
 
 use thoth_cache::{CacheConfig, CacheStats, SetAssocCache};
 use thoth_core::recovery::RecoveryCostModel;
@@ -19,6 +20,7 @@ use thoth_memctrl::{Wpq, WpqConfig, WpqEvent, WpqStats};
 use thoth_merkle::{BonsaiTree, MerkleConfig, ShadowTracker};
 use thoth_nvm::{FaultConfig, NvmDevice, WriteCategory};
 use thoth_sim_engine::{Cycle, DetRng, EventQueue};
+use thoth_telemetry::{QueueProbe, TelemetryConfig, TelemetryReport};
 use thoth_workloads::{MultiCoreTrace, TraceOp};
 
 use std::collections::BTreeMap;
@@ -69,6 +71,9 @@ pub struct SecureNvm {
     op_log: Option<Vec<LoggedOp>>,
     /// Persist-event recorder for the sanitizer; `None` in normal runs.
     psan: Option<PsanRecorder>,
+    /// Telemetry session; `None` in normal runs (every hook is gated on
+    /// this being present, so plain runs are byte-identical).
+    telem: Option<Box<MachineTelemetry>>,
     /// Blocks holding relaxed-store data not yet written back (volatile
     /// dirty lines awaiting a `Flush`).
     relaxed_pending: FastSet<u64>,
@@ -146,6 +151,7 @@ impl SecureNvm {
             crash_ctl: None,
             op_log: None,
             psan: None,
+            telem: None,
             relaxed_pending: FastSet::default(),
             config,
         }
@@ -528,6 +534,7 @@ impl SecureNvm {
             config,
             crash_ctl,
             psan,
+            telem,
             ..
         } = self;
         let mut host = MachineHost {
@@ -544,6 +551,7 @@ impl SecureNvm {
             shadow_writes_emitted,
             crash_ctl: crash_ctl.as_mut(),
             psan: psan.as_mut(),
+            telem: telem.as_deref_mut(),
         };
         thoth.as_mut().expect("Thoth mode").insert(pu, &mut host);
         now
@@ -735,6 +743,117 @@ impl SecureNvm {
         (report, events)
     }
 
+    /// Runs `trace` with the observability layer enabled per `tcfg`,
+    /// returning the (unchanged) timing report plus everything the
+    /// instrumentation recorded: counters, the epoch-sampled timeline,
+    /// per-queue occupancy summaries, and (with [`TelemetryConfig::trace`])
+    /// Chrome `trace_event` JSON.
+    ///
+    /// With `tcfg.enabled == false` this is exactly [`Self::run`] plus an
+    /// empty report — no sink or probe is ever installed.
+    pub fn run_telemetry(
+        &mut self,
+        trace: &MultiCoreTrace,
+        tcfg: &TelemetryConfig,
+    ) -> (SimReport, TelemetryReport) {
+        if !tcfg.enabled {
+            let report = self.run(trace);
+            return (
+                report,
+                crate::telemetry::MachineTelemetry::new(*tcfg, trace.cores.len())
+                    .sink
+                    .finish(),
+            );
+        }
+        self.wpq
+            .attach_probe(QueueProbe::new("wpq", self.wpq.config().capacity as u64));
+        self.nvm.attach_probe(QueueProbe::new(
+            "nvm_banks",
+            self.nvm.config().num_banks as u64,
+        ));
+        if let Some(engine) = self.thoth.as_mut() {
+            engine.attach_probes(
+                QueueProbe::new("pcb", engine.pcb_capacity_updates() as u64),
+                QueueProbe::new("pub", engine.pub_buffer().capacity_blocks()),
+            );
+        }
+        // WPQ acceptance/drain counters (and, when tracing, the residency
+        // arrows) come from the event log.
+        self.wpq.record_events(true);
+        self.telem = Some(Box::new(MachineTelemetry::new(*tcfg, trace.cores.len())));
+
+        let report = self.run(trace);
+
+        // The tail drain in `run` buffered WPQ events after the last op.
+        self.pump_wpq_events();
+        self.wpq.record_events(false);
+        let mut tm = self.telem.take().expect("session installed above");
+        if let Some(p) = self.wpq.take_probe() {
+            tm.sink.absorb_probe(&p);
+        }
+        if let Some(p) = self.nvm.take_probe() {
+            tm.sink.absorb_probe(&p);
+        }
+        if let Some(engine) = self.thoth.as_mut() {
+            if let Some((pcb, pub_)) = engine.take_probes() {
+                tm.sink.absorb_probe(&pcb);
+                tm.sink.absorb_probe(&pub_);
+            }
+        }
+        (report, tm.sink.finish())
+    }
+
+    /// Pushes one timeline row if the sampling epoch elapsed at `now`.
+    fn telemetry_sample(&mut self, now: Cycle) {
+        let Self {
+            telem,
+            wpq,
+            nvm,
+            thoth,
+            config,
+            ..
+        } = self;
+        let Some(tm) = telem.as_mut() else {
+            return;
+        };
+        if !tm.sink.sample_due(now.0) {
+            return;
+        }
+        let (pcb_updates, pub_fill, skip_rate) = match thoth.as_ref() {
+            Some(engine) => {
+                let outcomes: u64 = engine.outcomes().values().sum();
+                let persists = engine.policy_persists();
+                let skip = if outcomes == 0 {
+                    0.0
+                } else {
+                    1.0 - persists as f64 / outcomes as f64
+                };
+                (
+                    engine.pcb_buffered_updates() as f64,
+                    engine.pub_buffer().occupancy(),
+                    skip,
+                )
+            }
+            None => (0.0, 0.0, 0.0),
+        };
+        let bytes = |cat: WriteCategory| (nvm.writes_in(cat) * config.block_bytes as u64) as f64;
+        let row = [
+            wpq.occupancy() as f64,
+            pcb_updates,
+            pub_fill,
+            nvm.queue_depth(now) as f64,
+            skip_rate,
+            bytes(WriteCategory::Data),
+            bytes(WriteCategory::CounterBlock),
+            bytes(WriteCategory::MacBlock),
+            bytes(WriteCategory::PubBlock),
+            bytes(WriteCategory::TreeNode),
+            bytes(WriteCategory::Shadow),
+        ];
+        tm.sink.timeline.push(now.0, &row);
+        tm.sink.advance_epoch(now.0);
+    }
+
     /// Replays ops; with `tx_limit` set, each core stops after that many
     /// transactions (the warm-up boundary).
     ///
@@ -879,6 +998,10 @@ impl SecureNvm {
                     }
                 }
             }
+            if let Some(tm) = self.telem.as_mut() {
+                tm.record_op(ci, op, now.0, cores[ci].time.0);
+            }
+            self.telemetry_sample(cores[ci].time);
             self.pump_wpq_events();
             if self.crash_ctl.as_ref().is_some_and(CrashControl::fired) {
                 return; // power is gone: no core issues anything further
@@ -893,21 +1016,36 @@ impl SecureNvm {
     /// stream, stamped with the current op context. Called after each
     /// replayed op so every event of one op is contiguous in the stream.
     fn pump_wpq_events(&mut self) {
-        let Some(p) = self.psan.as_mut() else {
+        if self.psan.is_none() && self.telem.is_none() {
             return;
-        };
-        for e in self.wpq.take_events() {
-            match e {
-                WpqEvent::Accepted {
-                    addr,
-                    category,
-                    coalesced,
-                } => p.emit(PersistEventKind::Accepted {
-                    block: addr,
-                    category,
-                    coalesced,
-                }),
-                WpqEvent::Drained { addr } => p.emit(PersistEventKind::Drained { block: addr }),
+        }
+        let events = self.wpq.take_events();
+        if let Some(p) = self.psan.as_mut() {
+            for e in &events {
+                match *e {
+                    WpqEvent::Accepted {
+                        addr,
+                        category,
+                        coalesced,
+                    } => p.emit(PersistEventKind::Accepted {
+                        block: addr,
+                        category,
+                        coalesced,
+                    }),
+                    WpqEvent::Drained { addr } => {
+                        p.emit(PersistEventKind::Drained { block: addr });
+                    }
+                }
+            }
+        }
+        if let Some(tm) = self.telem.as_mut() {
+            for e in &events {
+                match *e {
+                    WpqEvent::Accepted {
+                        addr, coalesced, ..
+                    } => tm.record_wpq_accept(addr, coalesced),
+                    WpqEvent::Drained { addr } => tm.record_wpq_drain(addr),
+                }
             }
         }
     }
@@ -1416,6 +1554,7 @@ struct MachineHost<'a> {
     shadow_writes_emitted: &'a mut u64,
     crash_ctl: Option<&'a mut CrashControl>,
     psan: Option<&'a mut PsanRecorder>,
+    telem: Option<&'a mut MachineTelemetry>,
 }
 
 impl MachineHost<'_> {
@@ -1514,6 +1653,9 @@ impl ThothHost for MachineHost<'_> {
                 image: image.to_vec(),
             });
         }
+        if let Some(tm) = self.telem.as_mut() {
+            tm.record_pub_append(self.now.0);
+        }
         self.wpq.insert(
             self.now,
             addr,
@@ -1529,6 +1671,9 @@ impl ThothHost for MachineHost<'_> {
     fn read_pub_block(&mut self, addr: u64) -> Vec<u8> {
         if let Some(p) = self.psan.as_mut() {
             p.emit(PersistEventKind::PubEvict { addr });
+        }
+        if let Some(tm) = self.telem.as_mut() {
+            tm.record_pub_evict(self.now.0);
         }
         let _ = self.nvm.time_access(self.now, addr, false);
         self.nvm.read_block(addr)

@@ -1,0 +1,103 @@
+//! Property checks over telemetry gathered from real instrumented runs:
+//!
+//! * queue probes never observe an occupancy above the queue's capacity,
+//! * per-op histograms stay in lock-step with their counters (histogram
+//!   count == counter value, so means are never computed over a
+//!   different population),
+//! * the timeline's cycle column is strictly monotone and every sampled
+//!   occupancy respects the same capacity bounds the probes enforce,
+//! * the exported trace is well-nested with per-lane monotone timestamps.
+
+use thoth_sim::telemetry::TIMELINE_COLUMNS;
+use thoth_sim::{Mode, SecureNvm, SimConfig, TelemetryConfig, TelemetryReport};
+use thoth_workloads::{spec, WorkloadConfig, WorkloadKind};
+
+/// Column index in the timeline schema.
+fn col(name: &str) -> usize {
+    TIMELINE_COLUMNS
+        .iter()
+        .position(|c| *c == name)
+        .expect("known column")
+}
+
+fn instrumented_run(kind: WorkloadKind, mode: Mode) -> TelemetryReport {
+    let mut cfg = WorkloadConfig::paper_default(kind).scaled(0.005);
+    cfg.footprint = 2_000;
+    cfg.prepopulate = cfg.footprint / 2;
+    let trace = spec::generate(cfg);
+    let mut machine = SecureNvm::new(SimConfig::paper_default(mode, 128));
+    let (_, telem) = machine.run_telemetry(&trace, &TelemetryConfig::full());
+    telem
+}
+
+#[test]
+fn instrumented_run_invariants_hold() {
+    for mode in [Mode::baseline(), Mode::thoth_wtsc()] {
+        let telem = instrumented_run(WorkloadKind::Btree, mode);
+        let label = mode.label();
+
+        // Probes: occupancy never exceeded capacity, and every queue the
+        // machine promises to instrument reported in.
+        let names: Vec<&str> = telem.probes.iter().map(|p| p.name).collect();
+        for q in ["wpq", "nvm_banks"] {
+            assert!(names.contains(&q), "{label}: probe {q} missing");
+        }
+        if matches!(mode, Mode::Thoth(_)) {
+            for q in ["pcb", "pub"] {
+                assert!(names.contains(&q), "{label}: probe {q} missing");
+            }
+        }
+        for p in &telem.probes {
+            assert!(
+                p.peak <= p.capacity,
+                "{label}: {} peak {} exceeds capacity {}",
+                p.name,
+                p.peak,
+                p.capacity
+            );
+            assert!(p.samples > 0, "{label}: {} never sampled", p.name);
+            assert!(p.mean <= p.peak as f64, "{label}: {} mean above peak", p.name);
+        }
+
+        // Counter/histogram lock-step for every op class.
+        for (counter, hist) in [
+            ("ops_read", "read_cycles"),
+            ("ops_store", "store_cycles"),
+            ("ops_store_relaxed", "store_relaxed_cycles"),
+            ("ops_flush", "flush_cycles"),
+            ("ops_fence", "fence_cycles"),
+            ("ops_commit", "commit_cycles"),
+        ] {
+            let c = telem.registry.counter_value(counter).expect("registered");
+            let h = telem.registry.hist_named(hist).expect("registered");
+            assert_eq!(c, h.count(), "{label}: {counter} != {hist} count");
+        }
+
+        // Timeline: strictly monotone cycles; sampled occupancies within
+        // the capacities the probes reported.
+        let wpq_cap = telem
+            .probes
+            .iter()
+            .find(|p| p.name == "wpq")
+            .expect("wpq probe")
+            .capacity as f64;
+        let mut prev = None;
+        for (cycle, values) in telem.timeline.rows() {
+            if let Some(p) = prev {
+                assert!(*cycle > p, "{label}: timeline cycle not monotone");
+            }
+            prev = Some(*cycle);
+            assert!(values[col("wpq_occ")] <= wpq_cap, "{label}: wpq_occ over cap");
+            let fill = values[col("pub_fill")];
+            assert!((0.0..=1.0).contains(&fill), "{label}: pub_fill out of range");
+            let skip = values[col("evict_skip_rate")];
+            assert!((0.0..=1.0).contains(&skip), "{label}: skip rate out of range");
+        }
+        assert!(!telem.timeline.is_empty(), "{label}: timeline never sampled");
+
+        // Trace: structurally valid and well-nested.
+        assert!(telem.trace_well_nested, "{label}: trace not well-nested");
+        let json = telem.trace_json.as_deref().expect("tracing was on");
+        thoth_telemetry::json::validate(json).expect("valid trace_event JSON");
+    }
+}

@@ -1,0 +1,76 @@
+//! Differential test: telemetry must be invisible to the machine.
+//!
+//! For every paper workload × {baseline, thoth-wtsc}, the simulation runs
+//! three times over the same trace — plain, with the full telemetry
+//! config (counters + timeline + tracer), and with counters only — and
+//! every run must produce a bit-identical [`SimReport`] (same FNV digest,
+//! same cycle count, same write totals). This is the contract that lets
+//! the instrumentation hooks live on the hot path: observing a run never
+//! perturbs it.
+
+use thoth_sim::{run_trace, Mode, SecureNvm, SimConfig, TelemetryConfig};
+use thoth_workloads::{spec, MultiCoreTrace, WorkloadConfig, WorkloadKind};
+
+/// A small-but-real trace: paper defaults scaled down, with the
+/// pre-population shrunk the same way the experiment runner's quick mode
+/// does so generation stays fast.
+fn trace_for(kind: WorkloadKind) -> MultiCoreTrace {
+    let mut cfg = WorkloadConfig::paper_default(kind).scaled(0.005);
+    cfg.footprint = match kind {
+        WorkloadKind::Swap => 4,
+        WorkloadKind::Queue => 32,
+        _ => 2_000,
+    };
+    cfg.prepopulate = cfg.footprint / 2;
+    spec::generate(cfg)
+}
+
+#[test]
+fn telemetry_is_neutral_across_workloads_and_modes() {
+    for kind in WorkloadKind::ALL {
+        let trace = trace_for(kind);
+        for mode in [Mode::baseline(), Mode::thoth_wtsc()] {
+            let config = SimConfig::paper_default(mode, 128);
+            let plain = run_trace(&config, &trace);
+
+            for tcfg in [TelemetryConfig::full(), TelemetryConfig::counters_only()] {
+                let mut machine = SecureNvm::new(config.clone());
+                let (instrumented, telem) = machine.run_telemetry(&trace, &tcfg);
+                let point = format!("{}/{} trace={}", kind.name(), mode.label(), tcfg.trace);
+                assert_eq!(
+                    plain.digest(),
+                    instrumented.digest(),
+                    "telemetry perturbed the report digest at {point}"
+                );
+                assert_eq!(
+                    plain.total_cycles, instrumented.total_cycles,
+                    "telemetry perturbed timing at {point}"
+                );
+                assert_eq!(
+                    plain.writes_total(),
+                    instrumented.writes_total(),
+                    "telemetry perturbed NVM writes at {point}"
+                );
+                // And the instrumented run actually observed something.
+                assert!(
+                    telem.registry.counter_value("ops_read").unwrap_or(0) > 0,
+                    "no reads recorded at {point}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_config_records_nothing_and_stays_neutral() {
+    let trace = trace_for(WorkloadKind::Swap);
+    let config = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+    let plain = run_trace(&config, &trace);
+    let mut machine = SecureNvm::new(config);
+    let (report, telem) = machine.run_telemetry(&trace, &TelemetryConfig::default());
+    assert_eq!(plain.digest(), report.digest());
+    assert_eq!(telem.registry.counter_value("ops_read"), Some(0));
+    assert!(telem.timeline.is_empty());
+    assert!(telem.trace_json.is_none());
+    assert!(telem.probes.is_empty());
+}

@@ -1,0 +1,112 @@
+//! `thoth-telemetry` — the opt-in observability layer.
+//!
+//! The paper's headline claims are statements about *internal* dynamics:
+//! WPQ occupancy under ADR pressure (Fig. 12), PUB fill and eviction
+//! filtering under WTSC/WTBC (Fig. 3), and metadata write amplification
+//! (Fig. 9). The simulator's end-of-run aggregates show *that* a
+//! configuration wins; this crate makes visible *why*, in the style of
+//! gem5's stats framework:
+//!
+//! * [`Registry`] — typed counters and log2-bucketed histograms with a
+//!   dense, `&'static str`-keyed registry (no std hashing — this crate is
+//!   on the hot path when enabled and is lint-listed as a hot crate),
+//! * [`Timeline`] — epoch-sampled series (occupancies, fill fractions,
+//!   per-mechanism persist bytes) emitted as CSV,
+//! * [`SpanTracer`] — a span/instant/async event tracer exporting Chrome
+//!   `trace_event` JSON loadable in `chrome://tracing` / Perfetto,
+//! * [`QueueProbe`] — an embeddable occupancy recorder component crates
+//!   (`thoth-memctrl`, `thoth-core`, `thoth-nvm`) hold as
+//!   `Option<QueueProbe>`: disabled runs pay one branch, nothing else,
+//! * [`progress::ProgressSink`] — the structured progress channel the
+//!   experiment runner logs through instead of printing directly.
+//!
+//! Everything is off by default ([`TelemetryConfig::default`]); the
+//! simulator's differential test (`telemetry_neutrality`) proves that
+//! instrumented and plain runs produce bit-identical reports.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod probe;
+pub mod progress;
+pub mod registry;
+pub mod report;
+pub mod timeline;
+pub mod tracer;
+
+pub use probe::QueueProbe;
+pub use progress::ProgressSink;
+pub use registry::{CounterId, Hist, HistId, Registry};
+pub use report::{ProbeSummary, TelemetryReport, TelemetrySink};
+pub use timeline::Timeline;
+pub use tracer::{Span, SpanKind, SpanTracer};
+
+/// What the instrumentation layer records. Off by default; every hook in
+/// the simulator checks its sink before doing any work, so a disabled run
+/// is byte-identical to an uninstrumented one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. `false` means no sink is installed at all.
+    pub enabled: bool,
+    /// Timeline sampling period in core cycles.
+    pub epoch_cycles: u64,
+    /// Record the span tracer (per-core op spans, WPQ residency arrows,
+    /// PUB append/evict instants).
+    pub trace: bool,
+    /// Hard cap on recorded trace events; once reached, further events
+    /// are counted as dropped instead of stored (bounded memory).
+    pub trace_cap: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            epoch_cycles: 10_000,
+            trace: false,
+            trace_cap: 200_000,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything on, at the default epoch.
+    #[must_use]
+    pub fn full() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            trace: true,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Counters and timelines on, tracer off (cheapest useful setting).
+    #[must_use]
+    pub fn counters_only() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        let c = TelemetryConfig::default();
+        assert!(!c.enabled);
+        assert!(!c.trace);
+        assert!(c.epoch_cycles > 0);
+    }
+
+    #[test]
+    fn presets_enable() {
+        assert!(TelemetryConfig::full().enabled);
+        assert!(TelemetryConfig::full().trace);
+        assert!(TelemetryConfig::counters_only().enabled);
+        assert!(!TelemetryConfig::counters_only().trace);
+    }
+}

@@ -1,0 +1,122 @@
+//! Epoch-sampled time series emitted as CSV.
+//!
+//! A [`Timeline`] is a fixed set of named columns plus one row per sample
+//! epoch. Values are `f64` so the same table can carry raw occupancies,
+//! fill fractions in `[0, 1]`, and cumulative byte counts.
+
+/// A fixed-column, append-only time series.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    columns: Vec<&'static str>,
+    rows: Vec<(u64, Vec<f64>)>,
+}
+
+impl Timeline {
+    /// A timeline with the given column names (cycle column is implicit).
+    #[must_use]
+    pub fn new(columns: &[&'static str]) -> Self {
+        Timeline {
+            columns: columns.to_vec(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one sample row at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the column count.
+    pub fn push(&mut self, cycle: u64, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "timeline row width must match columns"
+        );
+        self.rows.push((cycle, values.to_vec()));
+    }
+
+    /// The column names (excluding the implicit `cycle` column).
+    #[must_use]
+    pub fn columns(&self) -> &[&'static str] {
+        &self.columns
+    }
+
+    /// The sampled rows as `(cycle, values)`.
+    #[must_use]
+    pub fn rows(&self) -> &[(u64, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Number of sampled rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were sampled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value of column `name` in the last row, if any.
+    #[must_use]
+    pub fn last_value(&self, name: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| *c == name)?;
+        self.rows.last().map(|(_, vals)| vals[col])
+    }
+
+    /// Renders `cycle,<col0>,<col1>,...` CSV. Values print with enough
+    /// precision to round-trip fractions while keeping integers clean.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("cycle");
+        for c in &self.columns {
+            s.push(',');
+            s.push_str(c);
+        }
+        s.push('\n');
+        for (cycle, vals) in &self.rows {
+            s.push_str(&cycle.to_string());
+            for v in vals {
+                s.push(',');
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    s.push_str(&format!("{}", *v as i64));
+                } else {
+                    s.push_str(&format!("{v:.6}"));
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Timeline::new(&["wpq_occ", "pub_fill"]);
+        t.push(0, &[3.0, 0.25]);
+        t.push(10_000, &[7.0, 0.5]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("cycle,wpq_occ,pub_fill"));
+        assert_eq!(lines.next(), Some("0,3,0.250000"));
+        assert_eq!(lines.next(), Some("10000,7,0.500000"));
+        assert_eq!(lines.next(), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.last_value("pub_fill"), Some(0.5));
+        assert_eq!(t.last_value("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeline row width")]
+    fn wrong_width_panics() {
+        let mut t = Timeline::new(&["a", "b"]);
+        t.push(0, &[1.0]);
+    }
+}
