@@ -31,4 +31,11 @@ cargo test -q --locked -p thoth-telemetry
 echo "== telemetry smoke (neutrality + artifact schema, one workload) =="
 cargo run -q --release --locked -p thoth-experiments -- telemetry --quick
 
+echo "== perf digest gate (quick matrix must match the pinned digest) =="
+cargo run -q --release --locked -p thoth-experiments -- perf --quick \
+    --expect-digest 0xaa9ddf0ced976c32
+
+echo "== crypto with intrinsics disabled (thoth_soft_aes fallback must not rot) =="
+RUSTFLAGS="--cfg thoth_soft_aes" cargo test -q --locked -p thoth-crypto
+
 echo "ci: all green"

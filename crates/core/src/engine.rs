@@ -62,6 +62,9 @@ pub struct ThothEngine {
     /// (off) by default — the insert path pays one branch each.
     pcb_probe: Option<QueueProbe>,
     pub_probe: Option<QueueProbe>,
+    /// Reusable encode buffer for PUB appends (one block image) — the
+    /// append path is hot enough that a fresh `Vec` per block shows up.
+    scratch: Vec<u8>,
 }
 
 impl ThothEngine {
@@ -80,6 +83,7 @@ impl ThothEngine {
             policy_persists: 0,
             pcb_probe: None,
             pub_probe: None,
+            scratch: vec![0; pub_config.block_bytes],
         }
     }
 
@@ -170,7 +174,8 @@ impl ThothEngine {
                 // still sees the full transition complete — gating happens
                 // at the loop boundaries below, never mid-append.
                 let addr = self.pub_buf.peek_tail();
-                host.write_pub_block(addr, &self.codec.encode(&block));
+                self.codec.encode_into(&block, &mut self.scratch);
+                host.write_pub_block(addr, &self.scratch);
                 self.pub_buf.commit_tail();
                 while self.pub_buf.needs_eviction() && !host.power_failed() {
                     if !self.evict_one(host) {

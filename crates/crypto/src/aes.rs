@@ -1,16 +1,29 @@
 //! AES-128 block cipher (FIPS-197), implemented from scratch.
 //!
-//! The encrypt path uses the classic four-T-table formulation (each round
-//! is 16 table lookups + XORs over four 256-entry u32 tables, all built at
-//! compile time from the S-box), because CTR-mode pad generation sits on
-//! the simulator's hottest path. The original byte-wise implementation —
-//! S-box lookups plus explicit `MixColumns` arithmetic over GF(2^8) — is
-//! kept as [`Aes128::encrypt_block_bytewise`] and serves as the
-//! differential-testing oracle for the table path. Neither is meant to be
-//! a constant-time production cipher — they exist so the simulator's
-//! *functional* state (ciphertexts, one-time pads) is real AES, making
-//! recovery and tamper-detection tests meaningful. The *timing* model
-//! charges the paper's fixed 40-cycle AES latency regardless.
+//! Three implementations live here, fastest first:
+//!
+//! * **AES-NI** (`x86_64` only) — one `AESENC` per round via
+//!   `std::arch` intrinsics, selected at runtime with
+//!   `is_x86_feature_detected!("aes")` and pipelined four blocks wide in
+//!   [`Aes128::encrypt_blocks`]. Building with `--cfg thoth_soft_aes`
+//!   compiles this path out entirely (CI uses that to keep the fallback
+//!   honest), and [`Aes128::new_soft`] forces the fallback at runtime for
+//!   differential tests on machines that do have the instructions.
+//! * **T-tables** — the portable scalar path (each round is 16 table
+//!   lookups + XORs over four 256-entry u32 tables, all built at compile
+//!   time from the S-box). This is the fallback on non-x86 builds and the
+//!   differential oracle for the hardware path
+//!   (`aes_hw_vs_ttable`).
+//! * **Byte-wise FIPS-197** — S-box lookups plus explicit `MixColumns`
+//!   arithmetic over GF(2^8); the oracle of last resort for both paths.
+//!
+//! None of these is meant to be a constant-time production cipher — they
+//! exist so the simulator's *functional* state (ciphertexts, one-time
+//! pads) is real AES, making recovery and tamper-detection tests
+//! meaningful. The *timing* model charges the paper's fixed 40-cycle AES
+//! latency regardless of which software path runs.
+
+use std::cell::Cell;
 
 /// The AES S-box.
 const SBOX: [u8; 256] = [
@@ -77,6 +90,88 @@ const TE: [[u32; 256]; 4] = {
     t
 };
 
+/// Which implementation [`Aes128::encrypt_block`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesBackend {
+    /// Hardware AES via `AESENC`/`AESENCLAST` intrinsics (x86_64 with the
+    /// `aes` feature, unless compiled out with `--cfg thoth_soft_aes`).
+    HwAesNi,
+    /// The portable T-table software path.
+    TTable,
+}
+
+/// The hardware path. Compiled only on x86_64 and only when the
+/// `thoth_soft_aes` escape hatch is off; runtime dispatch still checks
+/// CPUID before ever calling in.
+#[cfg(all(target_arch = "x86_64", not(thoth_soft_aes)))]
+mod hw {
+    use std::arch::x86_64::{
+        __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_loadu_si128, _mm_setzero_si128,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// Runtime CPU support for the instructions this module emits.
+    pub fn available() -> bool {
+        is_x86_feature_detected!("aes")
+    }
+
+    /// Encrypts `blocks` in place, four blocks in flight at a time —
+    /// `AESENC` pipelines, so independent blocks hide its latency.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `aes` and `sse2` target features
+    /// (guaranteed by [`available`]; `sse2` is baseline on x86_64).
+    #[target_feature(enable = "aes")]
+    pub unsafe fn encrypt_blocks(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+        unsafe {
+            let mut k = [_mm_setzero_si128(); 11];
+            for (dst, src) in k.iter_mut().zip(round_keys) {
+                *dst = _mm_loadu_si128(src.as_ptr().cast());
+            }
+            let mut quads = blocks.chunks_exact_mut(4);
+            for quad in &mut quads {
+                let mut s: [__m128i; 4] = [
+                    _mm_loadu_si128(quad[0].as_ptr().cast()),
+                    _mm_loadu_si128(quad[1].as_ptr().cast()),
+                    _mm_loadu_si128(quad[2].as_ptr().cast()),
+                    _mm_loadu_si128(quad[3].as_ptr().cast()),
+                ];
+                for lane in &mut s {
+                    *lane = _mm_xor_si128(*lane, k[0]);
+                }
+                for rk in &k[1..10] {
+                    for lane in &mut s {
+                        *lane = _mm_aesenc_si128(*lane, *rk);
+                    }
+                }
+                for (lane, out) in s.iter_mut().zip(quad.iter_mut()) {
+                    *lane = _mm_aesenclast_si128(*lane, k[10]);
+                    _mm_storeu_si128(out.as_mut_ptr().cast(), *lane);
+                }
+            }
+            for block in quads.into_remainder() {
+                let mut s = _mm_loadu_si128(block.as_ptr().cast());
+                s = _mm_xor_si128(s, k[0]);
+                for rk in &k[1..10] {
+                    s = _mm_aesenc_si128(s, *rk);
+                }
+                s = _mm_aesenclast_si128(s, k[10]);
+                _mm_storeu_si128(block.as_mut_ptr().cast(), s);
+            }
+        }
+    }
+}
+
+/// Picks the fastest backend the build and the CPU both support.
+fn detect_backend() -> AesBackend {
+    #[cfg(all(target_arch = "x86_64", not(thoth_soft_aes)))]
+    if hw::available() {
+        return AesBackend::HwAesNi;
+    }
+    AesBackend::TTable
+}
+
 /// Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial.
 #[inline]
 const fn xtime(b: u8) -> u8 {
@@ -115,12 +210,30 @@ pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
     /// The same schedule as big-endian column words, for the T-table path.
     rk_words: [u32; 44],
+    backend: AesBackend,
+    /// Blocks encrypted through the hardware path (telemetry counter
+    /// `aes_hw_blocks`; always maintained — one `Cell` add per batch is
+    /// cheaper than a branch on a config that crypto cannot see).
+    hw_blocks: Cell<u64>,
 }
 
 impl Aes128 {
-    /// Expands `key` into the 11 round keys.
+    /// Expands `key` into the 11 round keys, using the fastest backend
+    /// the build and CPU support (AES-NI where available).
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, detect_backend())
+    }
+
+    /// Like [`Self::new`] but forces the portable T-table path even when
+    /// the CPU has AES-NI — the knob the forced-fallback differential
+    /// tests (and any caller that wants reproducible software AES) use.
+    #[must_use]
+    pub fn new_soft(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, AesBackend::TTable)
+    }
+
+    fn with_backend(key: &[u8; 16], backend: AesBackend) -> Self {
         let mut w = [[0u8; 4]; 44];
         for i in 0..4 {
             w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
@@ -148,13 +261,72 @@ impl Aes128 {
         for (i, col) in w.iter().enumerate() {
             rk_words[i] = u32::from_be_bytes(*col);
         }
-        Aes128 { round_keys, rk_words }
+        Aes128 {
+            round_keys,
+            rk_words,
+            backend,
+            hw_blocks: Cell::new(0),
+        }
     }
 
-    /// Encrypts one 16-byte block (T-table fast path; bit-identical to
-    /// [`Self::encrypt_block_bytewise`], which the property tests enforce).
+    /// The backend [`Self::encrypt_block`] dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> AesBackend {
+        self.backend
+    }
+
+    /// Blocks encrypted through the hardware path so far (0 on the
+    /// software backend).
+    #[must_use]
+    pub fn hw_blocks(&self) -> u64 {
+        self.hw_blocks.get()
+    }
+
+    /// Encrypts one 16-byte block. Dispatches to AES-NI when the backend
+    /// supports it, else the T-table path; both are bit-identical to
+    /// [`Self::encrypt_block_bytewise`], which the differential tests
+    /// enforce.
     #[must_use]
     pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        match self.backend {
+            #[cfg(all(target_arch = "x86_64", not(thoth_soft_aes)))]
+            AesBackend::HwAesNi => {
+                let mut blocks = [*plaintext];
+                // SAFETY: `backend` is `HwAesNi` only when `detect_backend`
+                // saw the `aes` feature at runtime.
+                unsafe { hw::encrypt_blocks(&self.round_keys, &mut blocks) };
+                self.hw_blocks.set(self.hw_blocks.get() + 1);
+                blocks[0]
+            }
+            _ => self.encrypt_block_ttable(plaintext),
+        }
+    }
+
+    /// Encrypts a batch of blocks in place. On the hardware backend the
+    /// blocks run four wide through the `AESENC` pipeline — the fast path
+    /// for CTR pad generation, where every 128 B memory block needs eight
+    /// independent pads.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        match self.backend {
+            #[cfg(all(target_arch = "x86_64", not(thoth_soft_aes)))]
+            AesBackend::HwAesNi => {
+                // SAFETY: as in `encrypt_block` — runtime-detected.
+                unsafe { hw::encrypt_blocks(&self.round_keys, blocks) };
+                self.hw_blocks.set(self.hw_blocks.get() + blocks.len() as u64);
+            }
+            _ => {
+                for block in blocks {
+                    *block = self.encrypt_block_ttable(block);
+                }
+            }
+        }
+    }
+
+    /// Encrypts one block with the portable T-table path (the oracle the
+    /// hardware path is differentially tested against, and the dispatch
+    /// target on machines without AES-NI).
+    #[must_use]
+    pub fn encrypt_block_ttable(&self, plaintext: &[u8; 16]) -> [u8; 16] {
         let rk = &self.rk_words;
         let mut w = [0u32; 4];
         for (c, word) in w.iter_mut().enumerate() {
@@ -353,8 +525,72 @@ mod tests {
                 let mut pt = [0u8; 16];
                 pt[..8].copy_from_slice(&next().to_le_bytes());
                 pt[8..].copy_from_slice(&next().to_le_bytes());
-                assert_eq!(aes.encrypt_block(&pt), aes.encrypt_block_bytewise(&pt));
+                assert_eq!(aes.encrypt_block_ttable(&pt), aes.encrypt_block_bytewise(&pt));
             }
+        }
+    }
+
+    /// Whatever backend `new` picked must agree with both software
+    /// oracles on a randomized corpus, block by block and batched.
+    #[test]
+    fn dispatched_backend_matches_both_oracles() {
+        let mut x: u64 = 0x0be5_7a11_c0de_cafe;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..32 {
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&next().to_le_bytes());
+            key[8..].copy_from_slice(&next().to_le_bytes());
+            let aes = Aes128::new(&key);
+            // Odd batch length exercises the 4-wide loop and its remainder.
+            let mut batch = [[0u8; 16]; 7];
+            for block in &mut batch {
+                block[..8].copy_from_slice(&next().to_le_bytes());
+                block[8..].copy_from_slice(&next().to_le_bytes());
+            }
+            let plain = batch;
+            aes.encrypt_blocks(&mut batch);
+            for (pt, ct) in plain.iter().zip(&batch) {
+                assert_eq!(*ct, aes.encrypt_block(pt));
+                assert_eq!(*ct, aes.encrypt_block_ttable(pt));
+                assert_eq!(*ct, aes.encrypt_block_bytewise(pt));
+                assert_eq!(aes.decrypt_block(ct), *pt);
+            }
+        }
+    }
+
+    /// The forced-software constructor must take the T-table path even on
+    /// machines with AES-NI, and must agree with the dispatched backend.
+    #[test]
+    fn forced_fallback_matches_dispatched() {
+        let key = [0x5Au8; 16];
+        let hard = Aes128::new(&key);
+        let soft = Aes128::new_soft(&key);
+        assert_eq!(soft.backend(), AesBackend::TTable);
+        let mut x: u64 = 0xdec0_de00_0000_0001;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut pt = [0u8; 16];
+            pt[..8].copy_from_slice(&x.to_le_bytes());
+            pt[8..].copy_from_slice(&x.rotate_left(17).to_le_bytes());
+            assert_eq!(hard.encrypt_block(&pt), soft.encrypt_block(&pt));
+        }
+        assert_eq!(soft.hw_blocks(), 0, "software path must not count hw blocks");
+    }
+
+    #[test]
+    fn hw_block_counter_tracks_batches() {
+        let aes = Aes128::new(&[1u8; 16]);
+        let _ = aes.encrypt_block(&[0u8; 16]);
+        let mut batch = [[0u8; 16]; 9];
+        aes.encrypt_blocks(&mut batch);
+        match aes.backend() {
+            AesBackend::HwAesNi => assert_eq!(aes.hw_blocks(), 10),
+            AesBackend::TTable => assert_eq!(aes.hw_blocks(), 0),
         }
     }
 

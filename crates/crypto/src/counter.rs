@@ -129,15 +129,46 @@ impl CounterGroup {
     /// order, LSB-first within the byte stream.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let nbits = self.packed_bits();
-        let mut out = vec![0u8; nbits.div_ceil(8)];
-        out[..8].copy_from_slice(&self.major.to_le_bytes());
-        let mut bitpos = 64usize;
-        for &m in &self.minors {
-            write_bits(&mut out, bitpos, u64::from(m), MINOR_COUNTER_BITS as usize);
-            bitpos += MINOR_COUNTER_BITS as usize;
-        }
+        let mut out = vec![0u8; self.packed_bits().div_ceil(8)];
+        self.write_into(&mut out);
         out
+    }
+
+    /// Allocation-free [`Self::to_bytes`]: packs into the front of `out`,
+    /// byte-identical (the packed region is zeroed first so padding bits
+    /// match the freshly-allocated path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the packed size.
+    pub fn write_into(&self, out: &mut [u8]) {
+        let need = self.packed_bits().div_ceil(8);
+        assert!(out.len() >= need, "counter group needs {need} bytes, got {}", out.len());
+        out[..need].fill(0);
+        out[..8].copy_from_slice(&self.major.to_le_bytes());
+        // 8 minors are 56 bits — exactly 7 bytes — so every chunk of 8
+        // lands byte-aligned: one u64 compose and a 7-byte copy replace
+        // 56 single-bit writes (counter packs run on every counter-block
+        // persist).
+        let mut byte = 8usize;
+        let mut chunks = self.minors.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut packed = 0u64;
+            for (i, &m) in chunk.iter().enumerate() {
+                packed |= u64::from(m) << (7 * i);
+            }
+            out[byte..byte + 7].copy_from_slice(&packed.to_le_bytes()[..7]);
+            byte += 7;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut packed = 0u64;
+            for (i, &m) in rem.iter().enumerate() {
+                packed |= u64::from(m) << (7 * i);
+            }
+            let n = (7 * rem.len()).div_ceil(8);
+            out[byte..byte + n].copy_from_slice(&packed.to_le_bytes()[..n]);
+        }
     }
 
     /// Reverses [`Self::to_bytes`].
@@ -152,16 +183,28 @@ impl CounterGroup {
         assert!(bytes.len() >= need, "counter group truncated: {} < {need}", bytes.len());
         let major = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
         let mut minors = Vec::with_capacity(blocks_per_page);
-        let mut bitpos = 64usize;
-        for _ in 0..blocks_per_page {
-            minors.push(read_bits(bytes, bitpos, MINOR_COUNTER_BITS as usize) as u8);
-            bitpos += MINOR_COUNTER_BITS as usize;
+        // Mirror of `write_into`: each 8-minor chunk is 7 byte-aligned
+        // bytes; load them as one u64 and peel 7-bit fields.
+        let mut byte = 8usize;
+        let mut left = blocks_per_page;
+        while left > 0 {
+            let take = left.min(8);
+            let n = (7 * take).div_ceil(8);
+            let mut w = [0u8; 8];
+            w[..n].copy_from_slice(&bytes[byte..byte + n]);
+            let packed = u64::from_le_bytes(w);
+            minors.extend((0..take).map(|i| ((packed >> (7 * i)) & 0x7f) as u8));
+            byte += 7;
+            left -= take;
         }
         CounterGroup { major, minors }
     }
 }
 
 /// Writes `nbits` low bits of `value` at bit offset `bitpos` (LSB-first).
+/// Bit-at-a-time reference: the pack/unpack hot paths use byte-aligned
+/// u64 chunks instead, and the differential tests hold them to this.
+#[cfg(test)]
 fn write_bits(buf: &mut [u8], bitpos: usize, value: u64, nbits: usize) {
     for i in 0..nbits {
         let bit = (value >> i) & 1;
@@ -174,7 +217,9 @@ fn write_bits(buf: &mut [u8], bitpos: usize, value: u64, nbits: usize) {
     }
 }
 
-/// Reads `nbits` bits at offset `bitpos` (LSB-first).
+/// Reads `nbits` bits at offset `bitpos` (LSB-first; inverse of
+/// [`write_bits`], test oracle only).
+#[cfg(test)]
 fn read_bits(buf: &[u8], bitpos: usize, nbits: usize) -> u64 {
     let mut v = 0u64;
     for i in 0..nbits {
@@ -256,15 +301,27 @@ impl CounterBlock {
     /// Panics if the number of groups differs from the geometry.
     #[must_use]
     pub fn pack(&self, groups: &[CounterGroup]) -> Vec<u8> {
-        assert_eq!(groups.len(), self.groups_per_block);
-        let group_bytes = (64 + self.blocks_per_page * MINOR_COUNTER_BITS as usize).div_ceil(8);
         let mut out = vec![0u8; self.block_bytes];
+        self.pack_into(groups, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::pack`]: packs into the front of `out`,
+    /// byte-identical (the block region is zeroed first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group count differs from the geometry or `out` is
+    /// shorter than one block.
+    pub fn pack_into(&self, groups: &[CounterGroup], out: &mut [u8]) {
+        assert_eq!(groups.len(), self.groups_per_block);
+        assert!(out.len() >= self.block_bytes);
+        let group_bytes = (64 + self.blocks_per_page * MINOR_COUNTER_BITS as usize).div_ceil(8);
+        out[..self.block_bytes].fill(0);
         for (i, g) in groups.iter().enumerate() {
             assert_eq!(g.len(), self.blocks_per_page);
-            let img = g.to_bytes();
-            out[i * group_bytes..i * group_bytes + img.len()].copy_from_slice(&img);
+            g.write_into(&mut out[i * group_bytes..(i + 1) * group_bytes]);
         }
-        out
     }
 
     /// Reverses [`Self::pack`].
@@ -360,6 +417,52 @@ mod tests {
         assert_eq!(img.len(), 128);
         let back = geo.unpack(&img);
         assert_eq!(back, groups);
+    }
+
+    #[test]
+    fn pack_into_matches_pack_even_on_dirty_buffers() {
+        let geo = CounterBlock::geometry(256, 4096);
+        let mut groups: Vec<CounterGroup> = (0..geo.groups_per_block)
+            .map(|_| CounterGroup::new(geo.blocks_per_page))
+            .collect();
+        for (i, g) in groups.iter_mut().enumerate() {
+            for _ in 0..=i * 13 {
+                g.increment(i % 16);
+            }
+        }
+        let fresh = geo.pack(&groups);
+        let mut dirty = vec![0xFFu8; 256];
+        geo.pack_into(&groups, &mut dirty);
+        assert_eq!(dirty, fresh);
+    }
+
+    /// The chunked pack/unpack must stay byte-identical to the original
+    /// bit-at-a-time packing for every group width, ragged tails
+    /// included.
+    #[test]
+    fn chunked_pack_matches_bitwise_reference() {
+        for width in 1..=70usize {
+            let mut g = CounterGroup::new(width);
+            g.major = 0x0123_4567_89ab_cdef;
+            for (i, m) in (0..width).zip([3u8, 127, 0, 64, 99, 1, 77, 50].iter().cycle()) {
+                g.set_minor(i, *m);
+            }
+            let fast = g.to_bytes();
+            let mut reference = vec![0u8; g.packed_bits().div_ceil(8)];
+            reference[..8].copy_from_slice(&g.major.to_le_bytes());
+            let mut bitpos = 64usize;
+            for i in 0..width {
+                write_bits(
+                    &mut reference,
+                    bitpos,
+                    u64::from(g.minors[i]),
+                    MINOR_COUNTER_BITS as usize,
+                );
+                bitpos += MINOR_COUNTER_BITS as usize;
+            }
+            assert_eq!(fast, reference, "width {width}");
+            assert_eq!(CounterGroup::from_bytes(&fast, width), g, "width {width}");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod ctr;
 pub mod mac;
 pub mod siphash;
 
-pub use aes::Aes128;
+pub use aes::{Aes128, AesBackend};
 pub use counter::{CounterBlock, CounterGroup, MINOR_COUNTER_BITS, MINOR_COUNTER_MAX};
 pub use ctr::{BlockCipherPad, CtrMode};
 pub use mac::{MacEngine, MacKey};

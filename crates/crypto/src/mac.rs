@@ -13,6 +13,7 @@
 //! in a partial-update entry and re-derived during recovery.
 
 use crate::siphash::SipHash24;
+use std::cell::Cell;
 
 /// A 128-bit MAC key.
 ///
@@ -49,6 +50,8 @@ impl std::fmt::Debug for MacKey {
 #[derive(Debug, Clone)]
 pub struct MacEngine {
     sip: SipHash24,
+    /// Invocations of the multi-lane batched hash kernel (telemetry).
+    batch_runs: Cell<u64>,
 }
 
 /// Bytes of ciphertext covered by each 8-byte first-level MAC word.
@@ -60,6 +63,7 @@ impl MacEngine {
     pub fn new(key: MacKey) -> Self {
         MacEngine {
             sip: SipHash24::from_key_bytes(&key.0),
+            batch_runs: Cell::new(0),
         }
     }
 
@@ -122,6 +126,28 @@ impl MacEngine {
     #[must_use]
     pub fn raw_hash(&self, msg: &[u8]) -> u64 {
         self.sip.hash(msg)
+    }
+
+    /// Hashes a word sequence; bit-identical to [`Self::raw_hash`] over
+    /// the words' little-endian byte encoding (a word is exactly one
+    /// SipHash block, so the final length byte agrees).
+    #[must_use]
+    pub fn raw_hash_words(&self, words: &[u64]) -> u64 {
+        self.sip.hash_words(words)
+    }
+
+    /// Hashes fixed-width word rows through the multi-lane kernel,
+    /// element-wise equal to [`Self::raw_hash_words`] on each row.
+    #[must_use]
+    pub fn raw_hash_words_batch<const W: usize>(&self, rows: &[[u64; W]]) -> Vec<u64> {
+        self.batch_runs.set(self.batch_runs.get() + 1);
+        self.sip.hash_words_batch(rows)
+    }
+
+    /// Batched-kernel invocations so far (telemetry).
+    #[must_use]
+    pub fn batch_runs(&self) -> u64 {
+        self.batch_runs.get()
     }
 }
 
@@ -214,6 +240,19 @@ mod tests {
     #[should_panic(expected = "whole 64 B chunks")]
     fn unaligned_ciphertext_panics() {
         let _ = engine().first_level(0, 0, 0, &[0u8; 100]);
+    }
+
+    #[test]
+    fn raw_hash_words_matches_byte_encoding() {
+        let eng = engine();
+        let rows: Vec<[u64; 4]> = (0..6).map(|r| [r, r * 3 + 1, r ^ 0x55, 7 - r]).collect();
+        let batched = eng.raw_hash_words_batch(&rows);
+        assert_eq!(eng.batch_runs(), 1);
+        for (row, &tag) in rows.iter().zip(&batched) {
+            assert_eq!(tag, eng.raw_hash_words(row));
+            let bytes: Vec<u8> = row.iter().flat_map(|w| w.to_le_bytes()).collect();
+            assert_eq!(tag, eng.raw_hash(&bytes));
+        }
     }
 
     #[test]

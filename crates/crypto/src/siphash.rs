@@ -139,6 +139,73 @@ impl SipHash24 {
         }
     }
 
+    /// Hashes many independent messages, element-wise equal to
+    /// [`Self::hash`] on each. Runs of [`BATCH_LANES`] equal-length
+    /// messages go through the interleaved multi-lane kernel — the lanes'
+    /// compression chains are independent, so the CPU overlaps them where
+    /// a serial `hash` loop is latency-bound on one sipround chain.
+    #[must_use]
+    pub fn hash_batch(&self, msgs: &[&[u8]]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(msgs.len());
+        let mut groups = msgs.chunks_exact(BATCH_LANES);
+        for group in &mut groups {
+            let len = group[0].len();
+            if group.iter().all(|m| m.len() == len) {
+                out.extend(self.hash_lanes([group[0], group[1], group[2], group[3]]));
+            } else {
+                out.extend(group.iter().map(|m| self.hash(m)));
+            }
+        }
+        out.extend(groups.remainder().iter().map(|m| self.hash(m)));
+        out
+    }
+
+    /// Hashes fixed-width word rows, element-wise equal to
+    /// [`Self::hash_words`] on each row. This is the merkle/MAC fast path:
+    /// node messages at one tree level are all the same width, so whole
+    /// dirty-parent sets run through the multi-lane kernel.
+    #[must_use]
+    pub fn hash_words_batch<const W: usize>(&self, rows: &[[u64; W]]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(rows.len());
+        let mut groups = rows.chunks_exact(BATCH_LANES);
+        let last = ((W as u64 * 8) & 0xff) << 56;
+        for g in &mut groups {
+            let mut v = [self.init_state(); BATCH_LANES];
+            for (((&a, &b), &c), &d) in g[0].iter().zip(&g[1]).zip(&g[2]).zip(&g[3]) {
+                compress_lanes(&mut v, [a, b, c, d]);
+            }
+            out.extend(v.map(|lane| Self::finalize(lane, last)));
+        }
+        out.extend(groups.remainder().iter().map(|row| self.hash_words(row)));
+        out
+    }
+
+    /// The interleaved kernel for [`BATCH_LANES`] equal-length byte
+    /// messages: one shared chunk loop, per-lane tail/finalization.
+    fn hash_lanes(&self, msgs: [&[u8]; BATCH_LANES]) -> [u64; BATCH_LANES] {
+        let len = msgs[0].len();
+        let mut v = [self.init_state(); BATCH_LANES];
+        let full = len / 8;
+        for i in 0..full {
+            let mut m = [0u64; BATCH_LANES];
+            for (word, msg) in m.iter_mut().zip(&msgs) {
+                *word =
+                    u64::from_le_bytes(msg[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+            }
+            compress_lanes(&mut v, m);
+        }
+        let mut out = [0u64; BATCH_LANES];
+        for ((state, msg), tag) in v.into_iter().zip(&msgs).zip(&mut out) {
+            let rem = &msg[full * 8..];
+            let mut last = (len as u64 & 0xff) << 56;
+            for (i, &b) in rem.iter().enumerate() {
+                last |= u64::from(b) << (8 * i);
+            }
+            *tag = Self::finalize(state, last);
+        }
+        out
+    }
+
     #[inline]
     fn init_state(&self) -> [u64; 4] {
         [
@@ -169,6 +236,27 @@ fn compress(v: &mut [u64; 4], m: u64) {
     sipround(v);
     sipround(v);
     v[0] ^= m;
+}
+
+/// Lanes the batched kernels interleave. Four keeps the working set (16
+/// `u64`s of state) in registers while giving the out-of-order core enough
+/// independent sipround chains to hide each chain's latency.
+pub const BATCH_LANES: usize = 4;
+
+/// One compression step applied to every lane; the per-lane rounds carry
+/// no cross-lane dependency, so the unrolled loop bodies overlap.
+#[inline]
+fn compress_lanes(v: &mut [[u64; 4]; BATCH_LANES], m: [u64; BATCH_LANES]) {
+    for (lane, &word) in v.iter_mut().zip(&m) {
+        lane[3] ^= word;
+    }
+    for lane in v.iter_mut() {
+        sipround(lane);
+        sipround(lane);
+    }
+    for (lane, &word) in v.iter_mut().zip(&m) {
+        lane[0] ^= word;
+    }
 }
 
 /// Incremental word-oriented SipHash-2-4 state; see [`SipHash24::words`].
@@ -306,6 +394,46 @@ mod tests {
             }
             assert_eq!(s.finish(), h.hash(&bytes), "{n} words");
         }
+    }
+
+    #[test]
+    fn hash_batch_matches_scalar_on_mixed_corpus() {
+        let h = SipHash24::new(21, 22);
+        // Lengths chosen so the corpus mixes lane-eligible runs (equal
+        // lengths) with ragged groups that fall back to scalar, plus a
+        // non-multiple-of-4 tail.
+        let lens: [usize; 11] = [0, 8, 8, 8, 8, 15, 15, 16, 17, 64, 7];
+        let msgs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (0..n).map(|j| (i * 31 + j * 7) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let batched = h.hash_batch(&refs);
+        let scalar: Vec<u64> = refs.iter().map(|m| h.hash(m)).collect();
+        assert_eq!(batched, scalar);
+        assert!(h.hash_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn hash_words_batch_matches_scalar() {
+        let h = SipHash24::new(23, 24);
+        // 10-word rows (merkle node width) at counts that exercise full
+        // lane groups plus every remainder size.
+        for count in 0..=9usize {
+            let rows: Vec<[u64; 10]> = (0..count)
+                .map(|r| std::array::from_fn(|i| (r * 17 + i) as u64 ^ 0xABCD))
+                .collect();
+            let batched = h.hash_words_batch(&rows);
+            let scalar: Vec<u64> = rows.iter().map(|row| h.hash_words(row)).collect();
+            assert_eq!(batched, scalar, "{count} rows");
+        }
+        // Width with a non-zero tail interaction in the length byte.
+        let rows: Vec<[u64; 4]> = (0..5).map(|r| [r, r + 1, r + 2, r + 3]).collect();
+        assert_eq!(
+            h.hash_words_batch(&rows),
+            rows.iter().map(|row| h.hash_words(row)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -28,6 +28,8 @@ fn main() {
     let mut scale_given = false;
     let mut quick = false;
     let mut point: Option<String> = None;
+    let mut trajectory: Vec<f64> = Vec::new();
+    let mut expect_digest: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,6 +45,19 @@ fn main() {
             }
             "--point" => {
                 point = Some(args.next().expect("--point needs WORKLOAD:SITE:N"));
+            }
+            "--trajectory" => {
+                let v = args.next().expect("--trajectory needs S1,S2,...");
+                trajectory = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--trajectory takes floats"))
+                    .collect();
+            }
+            "--expect-digest" => {
+                let v = args.next().expect("--expect-digest needs a hex digest");
+                let hex = v.trim_start_matches("0x");
+                expect_digest =
+                    Some(u64::from_str_radix(hex, 16).expect("--expect-digest takes hex"));
             }
             "--seed" => {
                 let v = args.next().expect("--seed needs a value");
@@ -98,7 +113,12 @@ fn main() {
                 if !scale_given {
                     s.scale = ExpSettings::quick().scale;
                 }
-                emit(perf::run(s), "perf");
+                let out = perf::run(s, &trajectory, expect_digest);
+                emit(out.tables, "perf");
+                if !out.ok {
+                    eprintln!("perf: FAILED (matrix digest does not match the pin)");
+                    std::process::exit(1);
+                }
             }
             "crashtest" => {
                 // Crash sweeps default to the quick trace scale so each
@@ -204,4 +224,10 @@ OPTIONS:
   --csv DIR  also write each table as CSV into DIR
   --point WORKLOAD:SITE:N
              (crashtest only) replay one crash point, e.g.
-             btree:persist:117 — the recipe printed on sweep failure";
+             btree:persist:117 — the recipe printed on sweep failure
+  --trajectory S1,S2,...
+             (perf only) also measure the matrix at each extra scale and
+             record every point in the results trajectory array
+  --expect-digest HEX
+             (perf only) CI gate: run, compare the matrix digest against
+             the pin, write nothing, exit non-zero on mismatch";

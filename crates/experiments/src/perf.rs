@@ -6,6 +6,16 @@
 //! Output goes to stdout as a table and to `results/BENCH_perf.json` as a
 //! small hand-rolled JSON document, so successive commits can be compared
 //! with `git diff` on the results file or any JSON tool.
+//!
+//! Two extensions support the raw-speed roadmap:
+//!
+//! * `--trajectory S1,S2,...` re-measures the matrix at additional scales
+//!   (the paper-scale ≥ 0.5 point is the target) and records every point
+//!   in a `"trajectory"` array, each with its own pinned digest.
+//! * `--expect-digest HEX` turns the harness into a CI gate: it runs the
+//!   matrix, compares the digest against the pin, writes **nothing**, and
+//!   reports failure on mismatch — so an optimization that changes
+//!   simulated behaviour cannot land silently.
 
 use crate::headline::{matrix_digest, matrix_jobs};
 use crate::runner::{run_jobs_sequential, ExpSettings, TraceCache};
@@ -140,28 +150,37 @@ pub fn table(summary: &PerfSummary) -> Table {
     t
 }
 
-/// Serializes the summary as JSON (hand-rolled — the workspace has no
-/// serializer dependency by design; see DESIGN.md §5).
+/// Serializes the measured points as JSON (hand-rolled — the workspace
+/// has no serializer dependency by design; see DESIGN.md §5). The first
+/// point is the primary run and keeps the historical top-level layout;
+/// every point (primary included) also appears in the `"trajectory"`
+/// array so multi-scale runs diff cleanly.
+///
+/// # Panics
+///
+/// Panics when `points` is empty — the harness always measures at least
+/// the primary scale.
 #[must_use]
-pub fn to_json(summary: &PerfSummary) -> String {
+pub fn to_json(points: &[PerfSummary]) -> String {
+    let primary = points.first().expect("at least the primary point");
     let mut s = String::from("{\n");
     let _ = writeln!(
         s,
         "  \"settings\": {{ \"scale\": {}, \"seed\": {} }},",
-        summary.settings.scale, summary.settings.seed
+        primary.settings.scale, primary.settings.seed
     );
     let _ = writeln!(
         s,
         "  \"matrix_digest\": \"{:#018x}\",",
-        summary.matrix_digest
+        primary.matrix_digest
     );
     let _ = writeln!(
         s,
         "  \"total_wall_seconds\": {:.6},",
-        summary.total_wall_seconds
+        primary.total_wall_seconds
     );
     s.push_str("  \"modes\": [\n");
-    for (i, m) in summary.modes.iter().enumerate() {
+    for (i, m) in primary.modes.iter().enumerate() {
         let _ = write!(
             s,
             "    {{ \"mode\": \"{}\", \"wall_seconds\": {:.6}, \"persist_ops\": {}, \
@@ -173,31 +192,89 @@ pub fn to_json(summary: &PerfSummary) -> String {
             m.sim_cycles,
             m.transactions
         );
-        s.push_str(if i + 1 < summary.modes.len() { ",\n" } else { "\n" });
+        s.push_str(if i + 1 < primary.modes.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"trajectory\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let persists: u64 = p.modes.iter().map(|m| m.persist_ops).sum();
+        let _ = write!(
+            s,
+            "    {{ \"scale\": {}, \"matrix_digest\": \"{:#018x}\", \
+             \"total_wall_seconds\": {:.6}, \"persist_ops\": {} }}",
+            p.settings.scale, p.matrix_digest, p.total_wall_seconds, persists
+        );
+        s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s
 }
 
-/// Runs the harness, prints the table, writes `results/BENCH_perf.json`.
+/// The harness outcome: tables for stdout plus the gate verdict (always
+/// `true` unless `--expect-digest` was given and mismatched).
+pub struct PerfOutcome {
+    /// Rendered tables, one per measured scale.
+    pub tables: Vec<Table>,
+    /// Whether the digest gate (if any) passed.
+    pub ok: bool,
+}
+
+/// Runs the harness, prints the per-scale tables, and either writes
+/// `results/BENCH_perf.json` (normal mode) or checks the matrix digest
+/// against a pin without touching the results file (gate mode).
+///
+/// `trajectory` lists additional scales to measure beyond
+/// `settings.scale`; the primary scale is always the first recorded
+/// point. `expect_digest` switches to gate mode: only the primary scale
+/// runs, nothing is written, and `ok` is the comparison verdict.
 #[must_use]
-pub fn run(settings: ExpSettings) -> Vec<Table> {
+pub fn run(settings: ExpSettings, trajectory: &[f64], expect_digest: Option<u64>) -> PerfOutcome {
     let summary = measure(settings);
+    let mut tables = vec![table(&summary)];
+
+    if let Some(expected) = expect_digest {
+        let ok = summary.matrix_digest == expected;
+        if ok {
+            eprintln!(
+                "[thoth-experiments] perf digest {expected:#018x} matches the pin \
+                 (gate mode: nothing written)"
+            );
+        } else {
+            eprintln!(
+                "[thoth-experiments] perf digest MISMATCH: measured {:#018x}, pinned {:#018x}",
+                summary.matrix_digest, expected
+            );
+        }
+        return PerfOutcome { tables, ok };
+    }
+
+    let mut points = vec![summary];
+    for &scale in trajectory {
+        if (scale - settings.scale).abs() < f64::EPSILON {
+            continue;
+        }
+        let mut s = settings;
+        s.scale = scale;
+        let point = measure(s);
+        tables.push(table(&point));
+        points.push(point);
+    }
+
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_perf.json", to_json(&summary))
+    std::fs::write("results/BENCH_perf.json", to_json(&points))
         .expect("write results/BENCH_perf.json");
     eprintln!("[thoth-experiments] wrote results/BENCH_perf.json");
-    vec![table(&summary)]
+    PerfOutcome { tables, ok: true }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_is_well_formed_enough() {
-        let summary = PerfSummary {
-            settings: ExpSettings::quick(),
+    fn summary_at(scale: f64, digest: u64) -> PerfSummary {
+        let mut settings = ExpSettings::quick();
+        settings.scale = scale;
+        PerfSummary {
+            settings,
             modes: vec![ModePerf {
                 mode: "baseline".into(),
                 wall_seconds: 0.5,
@@ -206,11 +283,29 @@ mod tests {
                 transactions: 10,
             }],
             total_wall_seconds: 0.5,
-            matrix_digest: 0xdead_beef,
-        };
-        let j = to_json(&summary);
+            matrix_digest: digest,
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = to_json(&[summary_at(0.02, 0xdead_beef)]);
         assert!(j.contains("\"matrix_digest\": \"0x00000000deadbeef\""));
         assert!(j.contains("\"persists_per_sec\": 200.0"));
+        assert!(j.contains("\"trajectory\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn trajectory_records_every_point_with_its_own_digest() {
+        let j = to_json(&[summary_at(0.02, 0xaaaa), summary_at(0.5, 0xbbbb)]);
+        // Top-level layout reflects the primary point only.
+        assert!(j.contains("\"matrix_digest\": \"0x000000000000aaaa\","));
+        // The trajectory carries both, each with scale + digest + persists.
+        assert!(j.contains("\"scale\": 0.02, \"matrix_digest\": \"0x000000000000aaaa\""));
+        assert!(j.contains("\"scale\": 0.5, \"matrix_digest\": \"0x000000000000bbbb\""));
+        assert!(j.contains("\"persist_ops\": 100"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }

@@ -11,6 +11,10 @@
 //!   silent so experiment output remains machine-parseable.
 //! * [`Rule::Unwrap`] — no `.unwrap()` in non-test library code: use
 //!   `.expect("why this cannot fail")` so panics carry their invariant.
+//! * [`Rule::Unsafe`] — `unsafe` only in `thoth-crypto` (the SIMD
+//!   intrinsics live there behind runtime feature detection); anywhere
+//!   else it needs an explicit `thoth-lint: allow(unsafe)` waiver, so
+//!   unsound blocks cannot creep into the simulator unaudited.
 //!
 //! The scanner is a small Rust lexer that blanks comments, strings and
 //! char literals (so `"HashMap"` in a doc comment never trips a rule),
@@ -33,11 +37,13 @@ pub enum Rule {
     Println,
     /// `.unwrap()` in non-test library code (use `.expect(...)`).
     Unwrap,
+    /// `unsafe` outside `thoth-crypto` without an explicit waiver.
+    Unsafe,
 }
 
 impl Rule {
     /// Every rule.
-    pub const ALL: [Rule; 3] = [Rule::StdHash, Rule::Println, Rule::Unwrap];
+    pub const ALL: [Rule; 4] = [Rule::StdHash, Rule::Println, Rule::Unwrap, Rule::Unsafe];
 
     /// Stable name, also the waiver token: `thoth-lint: allow(<name>)`.
     #[must_use]
@@ -46,6 +52,7 @@ impl Rule {
             Rule::StdHash => "std-hash",
             Rule::Println => "println",
             Rule::Unwrap => "unwrap",
+            Rule::Unsafe => "unsafe",
         }
     }
 
@@ -60,6 +67,9 @@ impl Rule {
                 "println!/eprintln! in library code: only experiments/bench/testkit/diagnostics print"
             }
             Rule::Unwrap => ".unwrap() in non-test library code: use .expect(\"invariant\")",
+            Rule::Unsafe => {
+                "unsafe outside thoth-crypto: keep intrinsics in the crypto crate or waive explicitly"
+            }
         }
     }
 }
@@ -349,6 +359,11 @@ pub fn scan_source(
     for off in token_positions(&blanked, ".unwrap(") {
         push(Rule::Unwrap, off, &mut out);
     }
+    if crate_name != "crypto" {
+        for off in token_positions(&blanked, "unsafe") {
+            push(Rule::Unsafe, off, &mut out);
+        }
+    }
     out.sort_by_key(|v| v.line);
     out
 }
@@ -511,6 +526,23 @@ mod tests {
         let v = scan_source(bad, "crates/sim/src/x.rs", "sim", false);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::Unwrap);
+    }
+
+    #[test]
+    fn unsafe_rule_confines_intrinsics_to_crypto() {
+        let src = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        // Allowed in the crypto crate — that is where the SIMD backends live.
+        assert!(scan_source(src, "crates/crypto/src/aes.rs", "crypto", false).is_empty());
+        // Flagged anywhere else…
+        let v = scan_source(src, "crates/sim/src/machine.rs", "sim", false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Unsafe);
+        // …unless waived on the line.
+        let waived = "fn f() { unsafe { x() } } // thoth-lint: allow(unsafe)\n";
+        assert!(scan_source(waived, "crates/sim/src/machine.rs", "sim", false).is_empty());
+        // `unsafe` inside strings/comments never trips the rule.
+        let doc = "// unsafe is discussed here\nlet s = \"unsafe\";\n";
+        assert!(scan_source(doc, "crates/sim/src/x.rs", "sim", false).is_empty());
     }
 
     #[test]

@@ -96,20 +96,42 @@ pub struct BonsaiTree {
     config: MerkleConfig,
     levels: u32,
     hasher: SipHash24,
-    /// Sparse node hashes per level; missing entries take the level default.
-    nodes: Vec<FastMap<u64, u64>>,
+    /// Sparse leaf hashes; missing entries take the leaf default.
+    leaves: FastMap<u64, u64>,
+    /// `children[L - 1]` maps a level-`L` node's index to its children's
+    /// hash array — one map probe yields the whole sibling set, where a
+    /// per-node map costs `arity + 1` probes per path level. Slots past a
+    /// ragged edge's child count stay at the child-level default.
+    children: Vec<FastMap<u64, [u64; MAX_ARITY]>>,
+    /// Current root hash, maintained by every update.
+    root_hash: u64,
     /// `default[level]` = hash of a node whose entire subtree is default.
     default: Vec<u64>,
+    /// Invocations of the multi-lane batched hash kernel (telemetry).
+    batch_runs: u64,
 }
 
 /// The default (all-zero-subtree) leaf hash input.
 const DEFAULT_LEAF: u64 = 0;
 
+/// Largest arity the inline children arrays support (the paper's trees
+/// are 8-ary; a 64 B node holds eight 8 B hashes).
+const MAX_ARITY: usize = 8;
+
 impl BonsaiTree {
     /// Creates a tree over `config.num_leaves` default leaves, keyed by
     /// `key` (the on-chip hash key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity exceeds [`MAX_ARITY`].
     #[must_use]
     pub fn new(config: MerkleConfig, key: u64) -> Self {
+        assert!(
+            config.arity as usize <= MAX_ARITY,
+            "arity {} exceeds the inline children-array capacity {MAX_ARITY}",
+            config.arity
+        );
         let hasher = SipHash24::new(key, key.rotate_left(32) ^ 0xb0b0_cafe_f00d_d00d);
         let levels = config.levels();
         let mut default = Vec::with_capacity(levels as usize);
@@ -123,8 +145,11 @@ impl BonsaiTree {
             config,
             levels,
             hasher,
-            nodes: (0..levels).map(|_| FastMap::default()).collect(),
+            leaves: FastMap::default(),
+            children: (1..levels).map(|_| FastMap::default()).collect(),
+            root_hash: default[(levels - 1) as usize],
             default,
+            batch_runs: 0,
         }
     }
 
@@ -158,20 +183,35 @@ impl BonsaiTree {
     /// The current root hash (always up to date).
     #[must_use]
     pub fn root(&self) -> u64 {
-        self.hash_of(NodeId {
-            level: self.levels - 1,
-            index: 0,
-        })
+        self.root_hash
     }
 
     /// The current hash of any node (default if untouched).
+    ///
+    /// A non-root node's hash lives in its parent's children array; the
+    /// root keeps a dedicated field.
     #[must_use]
     pub fn hash_of(&self, id: NodeId) -> u64 {
         assert!(id.level < self.levels, "level {} out of range", id.level);
-        self.nodes[id.level as usize]
-            .get(&id.index)
-            .copied()
-            .unwrap_or(self.default[id.level as usize])
+        if id.level == self.levels - 1 {
+            return if id.index == 0 {
+                self.root_hash
+            } else {
+                self.default[id.level as usize]
+            };
+        }
+        if id.level == 0 {
+            return self
+                .leaves
+                .get(&id.index)
+                .copied()
+                .unwrap_or(self.default[0]);
+        }
+        self.children[id.level as usize]
+            .get(&(id.index / self.config.arity))
+            .map_or(self.default[id.level as usize], |entry| {
+                entry[(id.index % self.config.arity) as usize]
+            })
     }
 
     /// Sets leaf `index` to `leaf_hash` and recomputes the path to the
@@ -189,34 +229,141 @@ impl BonsaiTree {
             self.config.num_leaves
         );
         let mut path = Vec::with_capacity(self.levels as usize);
-        self.nodes[0].insert(index, leaf_hash);
+        self.leaves.insert(index, leaf_hash);
         path.push(NodeId { level: 0, index });
         let mut child_index = index;
+        let mut child_hash = leaf_hash;
         for level in 1..self.levels {
-            let index = child_index / self.config.arity;
-            let first_child = index * self.config.arity;
+            let parent = child_index / self.config.arity;
+            let slot = (child_index % self.config.arity) as usize;
+            // One map probe replaces the old per-child lookups: the
+            // parent's whole sibling set is materialized (defaults
+            // filled) on first touch and updated in place after.
+            let child_default = self.default[(level - 1) as usize];
+            let entry = self.children[(level - 1) as usize]
+                .entry(parent)
+                .or_insert_with(|| [child_default; MAX_ARITY]);
+            entry[slot] = child_hash;
+            let first_child = parent * self.config.arity;
             let child_count = self
                 .config
                 .nodes_at(level - 1)
                 .min(first_child + self.config.arity)
                 - first_child;
-            // Stream children straight into the hash (same message as
-            // `node_hash`, without collecting them first).
+            // Same message as `node_hash`, streamed from the array.
             let mut s = self.hasher.words();
-            for i in 0..child_count {
-                s.push(self.hash_of(NodeId {
-                    level: level - 1,
-                    index: first_child + i,
-                }));
+            for &c in &entry[..child_count as usize] {
+                s.push(c);
             }
             s.push(u64::from(level));
-            s.push(index);
-            let h = s.finish();
-            self.nodes[level as usize].insert(index, h);
-            path.push(NodeId { level, index });
-            child_index = index;
+            s.push(parent);
+            child_hash = s.finish();
+            path.push(NodeId { level, index: parent });
+            child_index = parent;
         }
+        self.root_hash = child_hash;
         path
+    }
+
+    /// Batched [`Self::update_leaf`]: applies every `(leaf_index, hash)`
+    /// pair, then recomputes each dirtied level in one pass — shared
+    /// parents hash once instead of once per child, and full-arity rows
+    /// go through the multi-lane hash kernel. Final state is identical to
+    /// applying the updates one at a time (last write per leaf wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any leaf index is out of range.
+    pub fn update_leaves(&mut self, updates: impl IntoIterator<Item = (u64, u64)>) {
+        let arity = self.config.arity;
+        let mut dirty: Vec<u64> = Vec::new();
+        let child_default = self.default[0];
+        for (index, leaf_hash) in updates {
+            assert!(
+                index < self.config.num_leaves,
+                "leaf {index} out of range ({} leaves)",
+                self.config.num_leaves
+            );
+            self.leaves.insert(index, leaf_hash);
+            if self.levels == 1 {
+                self.root_hash = leaf_hash;
+                continue;
+            }
+            let entry = self.children[0]
+                .entry(index / arity)
+                .or_insert_with(|| [child_default; MAX_ARITY]);
+            entry[(index % arity) as usize] = leaf_hash;
+            dirty.push(index / arity);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for level in 1..self.levels {
+            if dirty.is_empty() {
+                return;
+            }
+            let hashes = self.hash_dirty_level(level, &dirty);
+            if level == self.levels - 1 {
+                self.root_hash = hashes[0];
+                return;
+            }
+            let child_default = self.default[level as usize];
+            let mut next: Vec<u64> = Vec::with_capacity(dirty.len());
+            for (&p, &h) in dirty.iter().zip(&hashes) {
+                let entry = self.children[level as usize]
+                    .entry(p / arity)
+                    .or_insert_with(|| [child_default; MAX_ARITY]);
+                entry[(p % arity) as usize] = h;
+                if next.last() != Some(&(p / arity)) {
+                    next.push(p / arity);
+                }
+            }
+            dirty = next;
+        }
+    }
+
+    /// Hashes every dirty node of one level from its children array.
+    /// Full-arity 8-ary rows (all but at most the ragged last parent,
+    /// which sorts to the end of `dirty`) run through the batched kernel.
+    fn hash_dirty_level(&mut self, level: u32, dirty: &[u64]) -> Vec<u64> {
+        let arity = self.config.arity;
+        let nodes_below = self.config.nodes_at(level - 1);
+        let level_map = &self.children[(level - 1) as usize];
+        let scalar = |p: u64| {
+            let entry = &level_map[&p];
+            let first_child = p * arity;
+            let child_count = nodes_below.min(first_child + arity) - first_child;
+            let mut s = self.hasher.words();
+            for &c in &entry[..child_count as usize] {
+                s.push(c);
+            }
+            s.push(u64::from(level));
+            s.push(p);
+            s.finish()
+        };
+        if arity as usize != MAX_ARITY {
+            return dirty.iter().map(|&p| scalar(p)).collect();
+        }
+        let split = dirty.partition_point(|&p| (p + 1) * arity <= nodes_below);
+        let rows: Vec<[u64; MAX_ARITY + 2]> = dirty[..split]
+            .iter()
+            .map(|&p| {
+                let mut row = [0u64; MAX_ARITY + 2];
+                row[..MAX_ARITY].copy_from_slice(&level_map[&p]);
+                row[MAX_ARITY] = u64::from(level);
+                row[MAX_ARITY + 1] = p;
+                row
+            })
+            .collect();
+        let mut hashes = self.hasher.hash_words_batch(&rows);
+        hashes.extend(dirty[split..].iter().map(|&p| scalar(p)));
+        self.batch_runs += 1;
+        hashes
+    }
+
+    /// Batched-kernel invocations so far (telemetry).
+    #[must_use]
+    pub fn batch_runs(&self) -> u64 {
+        self.batch_runs
     }
 
     /// The leaf hash for a counter-block image (binds the block address).
@@ -246,8 +393,11 @@ impl BonsaiTree {
                 .nodes_at(level - 1)
                 .min(first_child + self.config.arity)
                 - first_child;
-            match self.nodes[level as usize].get(&idx) {
-                Some(&stored) => {
+            // Node (level, idx) is materialized iff its children array
+            // exists — exactly when some update path passed through it.
+            match self.children[(level - 1) as usize].get(&idx) {
+                Some(_) => {
+                    let stored = self.hash_of(NodeId { level, index: idx });
                     let mut s = self.hasher.words();
                     for i in 0..child_count {
                         s.push(self.hash_of(NodeId {
@@ -292,16 +442,16 @@ impl BonsaiTree {
         leaves: impl IntoIterator<Item = (u64, u64)>,
     ) -> Self {
         let mut t = BonsaiTree::new(config, key);
-        for (i, h) in leaves {
-            t.update_leaf(i, h);
-        }
+        t.update_leaves(leaves);
         t
     }
 
-    /// Number of materialized (non-default) nodes, across all levels.
+    /// Number of materialized entries: touched leaves plus interior
+    /// nodes with a children array (one array covers a whole sibling
+    /// set, so this stays proportional to the touched paths).
     #[must_use]
     pub fn materialized_nodes(&self) -> usize {
-        self.nodes.iter().map(FastMap::len).sum()
+        self.leaves.len() + self.children.iter().map(FastMap::len).sum::<usize>()
     }
 }
 
@@ -401,10 +551,36 @@ mod tests {
     fn verify_detects_internal_node_tamper() {
         let mut t = tree(500);
         t.update_leaf(123, 0xabc);
-        // Corrupt an interior node directly.
+        // Corrupt the stored hash of interior node (1, 15): it lives in
+        // its parent's children array, level-2 entry 15/8, slot 15%8.
         let parent = 123 / 8;
-        t.nodes[1].insert(parent, 0xdead);
+        t.children[1].get_mut(&(parent / 8)).expect("path materialized")
+            [(parent % 8) as usize] = 0xdead;
         assert!(!t.verify_leaf(123, 0xabc));
+    }
+
+    #[test]
+    fn batched_updates_match_incremental_exactly() {
+        let updates: Vec<(u64, u64)> = (0..60u64)
+            .map(|i| (i * 7 % 90, i.wrapping_mul(0x9e37_79b9) + 1))
+            .collect();
+        let mut inc = tree(90);
+        for &(i, h) in &updates {
+            inc.update_leaf(i, h);
+        }
+        let mut bat = tree(90);
+        bat.update_leaves(updates.iter().copied());
+        assert!(bat.batch_runs() > 0, "full-arity rows must batch");
+        assert_eq!(inc.root(), bat.root());
+        // Not just the root: every node hash agrees, so a later
+        // incremental update lands on identical state.
+        for level in 0..inc.levels() {
+            for index in 0..inc.config().nodes_at(level) {
+                let id = NodeId { level, index };
+                assert_eq!(inc.hash_of(id), bat.hash_of(id), "{id:?}");
+            }
+        }
+        assert_eq!(inc.materialized_nodes(), bat.materialized_nodes());
     }
 
     #[test]

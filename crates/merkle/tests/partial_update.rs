@@ -105,6 +105,46 @@ fn ragged_shapes_verify_property() {
     });
 }
 
+/// Batched updates equal per-leaf updates on ragged shapes: for random
+/// (non-power-of-8) leaf counts and update sets — including contiguous
+/// runs that straddle the ragged last parent — `update_leaves` leaves the
+/// tree in exactly the state the per-leaf path produces.
+#[test]
+fn batched_matches_per_leaf_on_ragged_runs() {
+    check(48, |g| {
+        let leaves = g.range(2, 300);
+        let cfg = MerkleConfig::new(8, leaves);
+        // Mix random scatter with a contiguous run ending at the last
+        // leaf (the adjacent-leaf case batching is built for).
+        let mut updates = g.vec_of(0, 24, |g| (g.below(leaves), g.u64()));
+        let run_len = g.range(1, 12).min(leaves);
+        for (k, i) in (leaves - run_len..leaves).enumerate() {
+            updates.push((i, k as u64 + 0x9000));
+        }
+        let mut inc = BonsaiTree::new(cfg, 13);
+        for &(i, v) in &updates {
+            inc.update_leaf(i, v);
+        }
+        let mut bat = BonsaiTree::new(cfg, 13);
+        bat.update_leaves(updates.iter().copied());
+        assert_eq!(inc.root(), bat.root(), "{leaves} leaves");
+        for level in 0..cfg.levels() {
+            for index in 0..cfg.nodes_at(level) {
+                let id = NodeId { level, index };
+                assert_eq!(inc.hash_of(id), bat.hash_of(id), "{leaves} leaves, {id:?}");
+            }
+        }
+        // And every current leaf value still verifies against the tree.
+        let mut last = std::collections::BTreeMap::new();
+        for &(i, v) in &updates {
+            last.insert(i, v);
+        }
+        for (&i, &v) in &last {
+            assert!(bat.verify_leaf(i, v), "leaf {i} of {leaves}");
+        }
+    });
+}
+
 #[test]
 fn shadow_tracker_noop_transitions_cost_nothing() {
     let mut s = ShadowTracker::new();

@@ -2,7 +2,7 @@
 
 use crate::category::WriteCategory;
 use crate::wear::WearTracker;
-use thoth_sim_engine::{Cycle, FastMap, Frequency};
+use thoth_sim_engine::{CoalescedEventQueue, Cycle, FastMap, Frequency};
 use thoth_telemetry::QueueProbe;
 
 /// Static configuration of the NVM device (paper Table I defaults).
@@ -80,8 +80,23 @@ pub struct NvmDevice {
     /// `Box<[u8]>` rather than `Vec<u8>`: blocks never resize, and rewrites
     /// reuse the existing allocation instead of replacing it.
     blocks: FastMap<u64, Box<[u8]>>,
-    /// Per-bank earliest availability.
+    /// Per-bank earliest availability (authoritative timing state).
     bank_busy_until: Vec<Cycle>,
+    /// Bank-completion scoreboard: same-cycle completions coalesce into
+    /// one `(cycle, bank bitmask)` entry, so busy-bank queries drain a
+    /// handful of entries instead of scanning every bank. Each busy bank
+    /// has exactly one live entry bit; a bank whose occupancy was
+    /// extended re-checks `bank_busy_until` at pop time and reschedules.
+    completions: CoalescedEventQueue,
+    /// Bitmask of banks holding a live scoreboard entry. A bank schedules
+    /// at most one completion event at a time; the bit clears only when
+    /// its entry pops with the bank genuinely idle. Tracking per-bank
+    /// bits (not a counter) keeps the scoreboard correct even when cores
+    /// issue accesses with non-monotonic timestamps.
+    live_events: u64,
+    /// High-water mark of scoreboard drains; queries behind it fall back
+    /// to the scan (the scoreboard only moves forward in time).
+    drained_to: Cycle,
     wear: WearTracker,
     /// Functional writes per category, indexed by [`WriteCategory::index`]
     /// (a dense array so the per-write accounting is two adds, not a
@@ -103,6 +118,9 @@ impl NvmDevice {
             config,
             blocks: FastMap::default(),
             bank_busy_until: vec![Cycle::ZERO; config.num_banks],
+            completions: CoalescedEventQueue::new(),
+            live_events: 0,
+            drained_to: Cycle::ZERO,
             wear: WearTracker::new(),
             writes_by_cat: [0; WriteCategory::ALL.len()],
             timed_reads: 0,
@@ -226,6 +244,35 @@ impl NvmDevice {
         self.writes_by_cat[category.index()] += 1;
     }
 
+    /// Installs block contents with **no** wear or category accounting —
+    /// the warm-up/prefill path. Callers use this only for state whose
+    /// stats the next [`Self::reset_stats`] would discard anyway; measured
+    /// traffic must go through [`Self::write_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one block, or `addr` is out of range.
+    pub fn install_block(&mut self, addr: u64, data: &[u8]) {
+        self.check_range(addr);
+        assert_eq!(
+            data.len(),
+            self.config.block_bytes,
+            "install must be one full block"
+        );
+        let block = self.align(addr);
+        if let Some(img) = self.blocks.get_mut(&block) {
+            img.copy_from_slice(data);
+        } else {
+            self.blocks.insert(block, data.into());
+        }
+    }
+
+    /// Pre-sizes the block store for `additional` more resident blocks
+    /// (bulk-install paths like the PUB prefill).
+    pub fn reserve_blocks(&mut self, additional: usize) {
+        self.blocks.reserve(additional);
+    }
+
     /// Records a write for accounting/wear without storing bytes.
     ///
     /// Fast timing-only simulations use this when functional contents are
@@ -301,23 +348,71 @@ impl NvmDevice {
         } else {
             self.config.read_cycles()
         };
+        self.drain_completions(now);
+        let bit = 1u64 << bank;
         let start = now.max(self.bank_busy_until[bank]);
         let done = start + latency;
         self.bank_busy_until[bank] = done;
+        if self.live_events & bit == 0 {
+            // No live entry: open the bank's single scoreboard entry.
+            // A bank that already has one keeps it (now stale), and the
+            // entry re-checks `bank_busy_until` and reschedules when it
+            // pops.
+            self.live_events |= bit;
+            self.completions.schedule(done, bank as u32);
+        }
         if is_write {
             self.timed_writes += 1;
         } else {
             self.timed_reads += 1;
         }
-        if let Some(p) = self.probe.as_mut() {
-            let busy = self
-                .bank_busy_until
-                .iter()
-                .filter(|&&until| until > now)
-                .count();
-            p.record(busy as u64);
+        if self.probe.is_some() {
+            let busy = self.tracked_busy_banks(now);
+            let p = self.probe.as_mut().expect("checked above");
+            p.record(busy);
         }
         done
+    }
+
+    /// Pops every due scoreboard entry, settling each carried bank:
+    /// still-extended banks reschedule at their current availability,
+    /// genuinely free banks leave the busy count.
+    fn drain_completions(&mut self, now: Cycle) {
+        if now < self.drained_to {
+            return; // the scoreboard only moves forward
+        }
+        self.drained_to = now;
+        while let Some((_, mask)) = self.completions.pop_due(now) {
+            let mut remaining = mask;
+            while remaining != 0 {
+                let bank = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                let until = self.bank_busy_until[bank];
+                if until > now {
+                    self.completions.schedule(until, bank as u32);
+                } else {
+                    self.live_events &= !(1u64 << bank);
+                }
+            }
+        }
+    }
+
+    /// Busy-bank count from the scoreboard: O(due entries) amortized
+    /// instead of a full bank scan. Queries behind the drain high-water
+    /// mark fall back to the scan, which is always authoritative.
+    pub fn tracked_busy_banks(&mut self, now: Cycle) -> u64 {
+        if now < self.drained_to {
+            return self.queue_depth(now);
+        }
+        self.drain_completions(now);
+        u64::from(self.live_events.count_ones())
+    }
+
+    /// Completion events absorbed into same-cycle bitmask entries — the
+    /// schedules a per-event queue would have carried separately.
+    #[must_use]
+    pub fn bank_events_coalesced(&self) -> u64 {
+        self.completions.coalesced()
     }
 
     /// Number of banks still busy at `now` — the device-side queue-depth
@@ -351,6 +446,9 @@ impl NvmDevice {
     /// warm-up and measured phases of an experiment.
     pub fn reset_timing(&mut self) {
         self.bank_busy_until.fill(Cycle::ZERO);
+        self.completions.clear();
+        self.live_events = 0;
+        self.drained_to = Cycle::ZERO;
     }
 
     // ---- statistics -------------------------------------------------------
@@ -565,6 +663,70 @@ mod tests {
     fn partial_write_panics() {
         let mut d = dev();
         d.write_block(0, &[0; 64], WriteCategory::Data);
+    }
+
+    #[test]
+    fn install_block_stores_without_accounting() {
+        let mut d = dev();
+        d.reserve_blocks(8);
+        d.install_block(0x2000, &[9u8; 128]);
+        assert_eq!(d.read_block(0x2000), vec![9u8; 128]);
+        assert_eq!(d.total_writes(), 0, "no category accounting");
+        assert_eq!(d.wear().blocks_touched(), 0, "no wear accounting");
+        // Re-install reuses the residency (same as write_block).
+        d.install_block(0x2000, &[7u8; 128]);
+        assert_eq!(d.resident_blocks(), 1);
+        assert_eq!(d.read_block(0x2000)[0], 7);
+    }
+
+    /// Differential: the coalescing completion scoreboard must agree
+    /// with the full bank scan at every step of a pseudo-random but
+    /// time-monotonic access schedule, while actually merging events.
+    #[test]
+    fn completion_scoreboard_matches_bank_scan() {
+        let mut d = dev();
+        let mut x: u64 = 0xc0ffee_0000_1234;
+        let mut now = 0u64;
+        for step in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Bursts of same-cycle accesses across banks force same-cycle
+            // completions; occasional jumps drain everything.
+            if x % 4 == 0 {
+                now += x % 3000;
+            }
+            let addr = (x >> 16) % (1 << 20);
+            let is_write = x % 2 == 0;
+            d.time_access(Cycle(now), addr, is_write);
+            assert_eq!(
+                d.tracked_busy_banks(Cycle(now)),
+                d.queue_depth(Cycle(now)),
+                "step {step} at cycle {now}"
+            );
+        }
+        assert!(
+            d.bank_events_coalesced() > 0,
+            "same-cycle completions must coalesce"
+        );
+        // Far future: everything drains back to idle.
+        assert_eq!(d.tracked_busy_banks(Cycle(now + 1_000_000)), 0);
+        // Queries behind the drain mark fall back to the scan.
+        assert_eq!(d.tracked_busy_banks(Cycle(0)), d.queue_depth(Cycle(0)));
+    }
+
+    #[test]
+    fn scoreboard_survives_timing_reset() {
+        let mut d = dev();
+        d.time_access(Cycle(0), 0, true);
+        d.time_access(Cycle(0), 128, true);
+        assert_eq!(d.tracked_busy_banks(Cycle(0)), 2);
+        d.reset_timing();
+        assert_eq!(d.tracked_busy_banks(Cycle(0)), 0);
+        let done = d.time_access(Cycle(100), 0, false);
+        assert_eq!(done, Cycle(700));
+        assert_eq!(d.tracked_busy_banks(Cycle(100)), 1);
+        assert_eq!(d.tracked_busy_banks(Cycle(700)), 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod rng;
 pub mod stats;
 
 pub use clock::{Cycle, Frequency};
-pub use events::{EventQueue, HeapEventQueue};
+pub use events::{CoalescedEventQueue, EventQueue, HeapEventQueue};
 pub use fastmap::{FastMap, FastSet};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, StatsRegistry};

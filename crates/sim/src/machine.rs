@@ -204,20 +204,17 @@ impl SecureNvm {
         match ct {
             Some(ct) => self.mac.first_level(addr, major, minor, ct),
             None => {
+                // One batched-kernel call fabricates every tag word;
+                // each row hashes bit-identically to `raw_hash` over its
+                // 32-byte LE encoding, so values match the old per-word
+                // loop exactly.
                 let words = self.layout.mac_len() / 8;
+                let rows: Vec<[u64; 4]> = (0..words)
+                    .map(|i| [addr, major, u64::from(minor), i as u64])
+                    .collect();
                 let mut out = Vec::with_capacity(self.layout.mac_len());
-                for i in 0..words {
-                    out.extend_from_slice(
-                        &self
-                            .mac
-                            .raw_hash(
-                                &[addr, major, u64::from(minor), i as u64]
-                                    .iter()
-                                    .flat_map(|w| w.to_le_bytes())
-                                    .collect::<Vec<u8>>(),
-                            )
-                            .to_le_bytes(),
-                    );
+                for tag in self.mac.raw_hash_words_batch(&rows) {
+                    out.extend_from_slice(&tag.to_le_bytes());
                 }
                 out
             }
@@ -800,6 +797,11 @@ impl SecureNvm {
                 tm.sink.absorb_probe(&pub_);
             }
         }
+        tm.record_substrate_counters(
+            self.ctr_mode.hw_blocks(),
+            self.tree.batch_runs() + self.mac.batch_runs(),
+            self.nvm.bank_events_coalesced(),
+        );
         (report, tm.sink.finish())
     }
 
@@ -1070,21 +1072,31 @@ impl SecureNvm {
         let codec = engine.codec();
         let per_block = codec.entries_per_block();
         let pub_buf = engine.pub_buffer_mut();
+        let pool = &self.prefill_pool;
+        let pool_len = pool.len();
+        let block_bytes = self.config.block_bytes;
         let mut cursor = 0usize;
-        // The prefill writes tens of thousands of blocks; reuse one set of
-        // buffers across all of them.
+        // The prefill writes tens of thousands of blocks, but the pool is
+        // cycled `per_block` entries at a time, so only a few hundred
+        // distinct images ever occur. Encode each one once, and install
+        // the bytes without write accounting: the snapshot taken
+        // immediately after prefill resets every stat the accounting
+        // path would have touched.
+        let mut images: FastMap<usize, Box<[u8]>> = FastMap::default();
         let mut updates: Vec<PartialUpdate> = Vec::with_capacity(per_block);
-        let mut image = vec![0u8; self.config.block_bytes];
+        self.nvm.reserve_blocks(pub_buf.capacity_blocks() as usize);
         while !pub_buf.needs_eviction() {
-            updates.clear();
-            updates.extend(
-                (0..per_block).map(|i| self.prefill_pool[(cursor + i) % self.prefill_pool.len()]),
-            );
+            let start = cursor % pool_len;
             cursor += per_block;
             let addr = pub_buf.allocate_tail();
-            codec.encode_into(&updates, &mut image);
-            self.nvm
-                .write_block(addr, &image, WriteCategory::PubBlock);
+            let image = images.entry(start).or_insert_with(|| {
+                updates.clear();
+                updates.extend((0..per_block).map(|i| pool[(start + i) % pool_len]));
+                let mut img = vec![0u8; block_bytes];
+                codec.encode_into(&updates, &mut img);
+                img.into_boxed_slice()
+            });
+            self.nvm.install_block(addr, image);
         }
     }
 

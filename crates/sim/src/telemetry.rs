@@ -49,6 +49,9 @@ pub struct MachineTelemetry {
     pub_evicts: CounterId,
     wpq_accepts: CounterId,
     wpq_drains: CounterId,
+    aes_hw_blocks: CounterId,
+    hash_batch_runs: CounterId,
+    bank_events_coalesced: CounterId,
     core_lanes: Vec<u32>,
     mc_lane: u32,
     pub_lane: u32,
@@ -76,6 +79,9 @@ impl MachineTelemetry {
         let pub_evicts = sink.registry.counter("pub_evicts");
         let wpq_accepts = sink.registry.counter("wpq_accepts");
         let wpq_drains = sink.registry.counter("wpq_drains");
+        let aes_hw_blocks = sink.registry.counter("aes_hw_blocks");
+        let hash_batch_runs = sink.registry.counter("hash_batch_runs");
+        let bank_events_coalesced = sink.registry.counter("bank_events_coalesced");
         let (core_lanes, mc_lane, pub_lane) = match sink.tracer.as_mut() {
             Some(t) => {
                 let lanes: Vec<u32> = (0..cores)
@@ -97,6 +103,9 @@ impl MachineTelemetry {
             pub_evicts,
             wpq_accepts,
             wpq_drains,
+            aes_hw_blocks,
+            hash_batch_runs,
+            bank_events_coalesced,
             core_lanes,
             mc_lane,
             pub_lane,
@@ -149,6 +158,25 @@ impl MachineTelemetry {
                 t.async_begin(self.mc_lane, "wpq", addr, now);
             }
         }
+    }
+
+    /// Harvests the substrate throughput counters at session end: AES
+    /// blocks encrypted by the hardware backend, batched hash-kernel
+    /// invocations (merkle + MAC), and NVM bank completions coalesced
+    /// into shared scoreboard entries. These are read once from the
+    /// engines rather than recorded per event — the hot paths stay
+    /// telemetry-free.
+    pub fn record_substrate_counters(
+        &mut self,
+        aes_hw_blocks: u64,
+        hash_batch_runs: u64,
+        bank_events_coalesced: u64,
+    ) {
+        self.sink.registry.add(self.aes_hw_blocks, aes_hw_blocks);
+        self.sink.registry.add(self.hash_batch_runs, hash_batch_runs);
+        self.sink
+            .registry
+            .add(self.bank_events_coalesced, bank_events_coalesced);
     }
 
     /// Records a WPQ drain, closing the entry's residency interval.

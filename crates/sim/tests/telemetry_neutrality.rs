@@ -61,6 +61,45 @@ fn telemetry_is_neutral_across_workloads_and_modes() {
     }
 }
 
+/// The substrate counters (hardware-AES blocks, batched hash-kernel
+/// runs, coalesced bank completions) are harvested at session end and
+/// must not perturb the run either. A Full-functional Thoth run drives
+/// real CTR encryption, so `aes_hw_blocks` is nonzero whenever the
+/// machine detected AES-NI, and the other two fire on any Thoth run of
+/// this size.
+#[test]
+fn substrate_counters_present_and_neutral() {
+    let trace = trace_for(WorkloadKind::Queue);
+    let mut config = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+    config.functional = thoth_sim::FunctionalMode::Full;
+    let plain = run_trace(&config, &trace);
+    let mut machine = SecureNvm::new(config);
+    let (report, telem) = machine.run_telemetry(&trace, &TelemetryConfig::counters_only());
+    assert_eq!(plain.digest(), report.digest(), "counter harvest perturbed the run");
+    let count = |name: &str| telem.registry.counter_value(name).unwrap_or_else(|| {
+        panic!("{name} counter must be registered")
+    });
+    assert!(
+        count("bank_events_coalesced") > 0,
+        "no same-cycle bank completions coalesced"
+    );
+    if thoth_crypto::Aes128::new(&[0u8; 16]).backend() == thoth_crypto::AesBackend::HwAesNi {
+        assert!(count("aes_hw_blocks") > 0, "hardware AES never engaged");
+    }
+
+    // Fast functional mode fabricates first-level MACs through the
+    // batched hash kernel, so `hash_batch_runs` fires there.
+    let config = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+    let plain = run_trace(&config, &trace);
+    let mut machine = SecureNvm::new(config);
+    let (report, telem) = machine.run_telemetry(&trace, &TelemetryConfig::counters_only());
+    assert_eq!(plain.digest(), report.digest(), "counter harvest perturbed the run");
+    assert!(
+        telem.registry.counter_value("hash_batch_runs").unwrap_or(0) > 0,
+        "batched hashing never fired"
+    );
+}
+
 #[test]
 fn disabled_config_records_nothing_and_stays_neutral() {
     let trace = trace_for(WorkloadKind::Swap);
