@@ -31,6 +31,9 @@ cargo test -q --locked -p thoth-telemetry
 echo "== telemetry smoke (neutrality + artifact schema, one workload) =="
 cargo run -q --release --locked -p thoth-experiments -- telemetry --quick
 
+echo "== service smoke (open-loop saturation: finite monotone quantiles + knee) =="
+cargo run -q --release --locked -p thoth-experiments -- service --quick
+
 echo "== perf digest gate (quick matrix must match the pinned digest) =="
 cargo run -q --release --locked -p thoth-experiments -- perf --quick \
     --expect-digest 0xaa9ddf0ced976c32

@@ -44,13 +44,15 @@ pub fn sweep_config(settings: ExpSettings, quick: bool) -> SweepConfig {
     }
 }
 
-/// Runs the sweep over the paper's five workloads plus the oracle
-/// selftest, writes `results/crashtest.json`, and reports the verdict.
+/// Runs the sweep over the paper's five workloads plus the multi-tenant
+/// service core and the oracle selftest, writes `results/crashtest.json`,
+/// and reports the verdict.
 #[must_use]
 pub fn run(settings: ExpSettings, quick: bool) -> CrashtestOutcome {
     let cfg = sweep_config(settings, quick);
     let sweeps: Vec<SweepResult> = WorkloadKind::ALL
         .into_iter()
+        .chain([WorkloadKind::Service])
         .map(|kind| {
             eprintln!("[thoth-experiments] crashtest sweeping {kind}...");
             sweep_workload(kind, &cfg)

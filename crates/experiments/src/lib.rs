@@ -19,6 +19,7 @@
 //! | (extensions) | [`ablation`] | PUB/PCB knobs, PCB arrangement, eADR |
 //! | (extensions) | [`lifetime`] | write totals + wear concentration per mode |
 //! | (extensions) | [`telemetry`] | instrumented runs: timelines, traces, neutrality |
+//! | (extensions) | [`service`] | open-loop saturation: tail latency vs offered load |
 //!
 //! Each experiment prints a text table (and returns structured rows) so
 //! the binary's output can be diffed against `EXPERIMENTS.md`.
@@ -35,6 +36,7 @@ pub mod perf;
 pub mod psan;
 pub mod recovery;
 pub mod runner;
+pub mod service;
 pub mod tablefmt;
 pub mod telemetry;
 pub mod txsweep;

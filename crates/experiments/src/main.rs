@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: fig3 | headline | fig8 | fig9 | fig10 | table2 | table3 |
 //!             fig11 | fig12 | anubis | recovery | crashtest | psan |
-//!             telemetry | all (default: all)
+//!             telemetry | service | all (default: all)
 //! --scale F   transaction-count scale factor (default 0.25)
 //! --seed N    workload RNG seed
 //! --quick     tiny smoke-test scale (0.02)
@@ -15,8 +15,8 @@
 use thoth_experiments::runner::ExpSettings;
 use thoth_experiments::tablefmt::Table;
 use thoth_experiments::{
-    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, psan, recovery, telemetry,
-    txsweep, wpqsweep,
+    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, psan, recovery, service,
+    telemetry, txsweep, wpqsweep,
 };
 
 use std::path::PathBuf;
@@ -165,6 +165,20 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "service" => {
+                // The saturation sweep defaults to the quick trace scale
+                // so load points replay quickly; --scale overrides.
+                let mut s = settings;
+                if !scale_given {
+                    s.scale = ExpSettings::quick().scale;
+                }
+                let out = service::run(s, quick);
+                emit(out.tables, "service");
+                if !out.ok {
+                    eprintln!("service: FAILED (unpopulated quantiles or no knee, see above)");
+                    std::process::exit(1);
+                }
+            }
             "ablation" => emit(ablation::run(settings), "ablation"),
             "lifetime" => emit(lifetime::run(settings), "lifetime"),
             "all" => {}
@@ -213,6 +227,11 @@ EXPERIMENTS:
             Chrome trace_event JSON under results/telemetry/, with a
             telemetry-off-vs-on neutrality check; exits non-zero on any
             non-neutral or invalid point (quick scale unless --scale)
+  service   open-loop multi-tenant KV saturation sweep: p50/p99/p999
+            persist-ACK latency (from arrival) vs offered load per mode,
+            writes results/service.json + results/BENCH_service.json;
+            exits non-zero if quantiles are unpopulated/non-monotone or
+            no saturation knee appears (quick scale unless --scale)
   ablation  PUB/PCB design-space sweeps, PCB arrangement, eADR
   lifetime  NVM write totals + wear concentration per mode
   all       everything above (default)

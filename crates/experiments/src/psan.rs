@@ -2,10 +2,11 @@
 //!
 //! Two halves, both required for the verdict:
 //!
-//! * **Clean sweep** — every paper workload runs unmodified through the
-//!   instrumented simulator; the sanitizer must report zero durability or
-//!   ordering findings *and* zero performance smells (the workload
-//!   runtime's undo-log dedup keeps the transactions smell-free).
+//! * **Clean sweep** — every paper workload (plus the service extension)
+//!   runs unmodified through the instrumented simulator; the sanitizer
+//!   must report zero durability or ordering findings *and* zero
+//!   performance smells (the workload runtime's undo-log dedup keeps the
+//!   transactions smell-free).
 //! * **Seeded corpus** — each eligible (workload × bug) pair from
 //!   `thoth_workloads::corpus` is planted and replayed; the sanitizer must
 //!   produce a finding of the expected class at exactly the planted site
@@ -73,7 +74,10 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
     let mut clean_rows = Vec::new();
     let mut corpus_rows = Vec::new();
 
-    for kind in WorkloadKind::ALL {
+    // The paper's five workloads plus the multi-tenant service core, so
+    // the open-loop subsystem ships with ordering-sanitizer coverage.
+    let swept = WorkloadKind::ALL.into_iter().chain([WorkloadKind::Service]);
+    for kind in swept {
         eprintln!("[thoth-experiments] psan analyzing clean {kind}...");
         let run = analyze_clean(kind, scale);
         clean_rows.push(CleanRow {

@@ -1,0 +1,323 @@
+//! `service` — the open-loop service saturation sweep.
+//!
+//! Sweeps offered load (mean Poisson inter-arrival gap per core) across
+//! the headline mechanisms {baseline, thoth-wtsc, thoth-wtbc}, serving a
+//! multi-tenant YCSB-A key-value request stream, and reports the
+//! p50/p99/p999 persist-ACK latency *measured from arrival* at each
+//! point — the saturation ("hockey-stick") curve per mechanism.
+//!
+//! Results go to stdout as a table, to `results/service.json` (full
+//! detail per point) and `results/BENCH_service.json` (the compact
+//! quantile-vs-offered-load trajectory). The run is fully deterministic
+//! for a fixed seed. The verdict (`ok`) requires, at every point, a
+//! populated latency histogram (finite p999) and monotone quantiles, and
+//! per mechanism a visible knee: the heaviest load's p99 must clearly
+//! exceed the lightest load's.
+
+use crate::runner::ExpSettings;
+use crate::tablefmt::Table;
+
+use thoth_service::{run_modes, sweep_modes, PointResult};
+use thoth_workloads::service::ServiceSpec;
+
+use std::fmt::Write as _;
+
+/// Offered-load points (mean inter-arrival cycles per core), lightest
+/// first. The heaviest point sits far past saturation on every
+/// mechanism, so the knee is unmistakable in the trajectory.
+pub const FULL_LOADS: [f64; 5] = [24_000.0, 12_000.0, 6_000.0, 3_000.0, 1_200.0];
+
+/// The CI gate's trimmed sweep (still ≥ 3 points spanning the knee).
+pub const QUICK_LOADS: [f64; 3] = [24_000.0, 6_000.0, 1_200.0];
+
+/// Tables plus an overall verdict (the binary exits non-zero on `!ok`).
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// Rendered result tables.
+    pub tables: Vec<Table>,
+    /// Every point has finite, monotone quantiles and each mechanism
+    /// shows a saturation knee.
+    pub ok: bool,
+}
+
+/// The base request-stream spec at the given settings: 4 cores serving
+/// 16 tenants under YCSB-A with 0.99 Zipfian skew, request counts scaled
+/// by `settings.scale` (1.0 = 2000 measured + 400 warm-up per core).
+#[must_use]
+pub fn base_spec(settings: ExpSettings) -> ServiceSpec {
+    let mut spec = ServiceSpec::default_spec();
+    spec.seed = settings.seed;
+    spec.scaled(settings.scale)
+}
+
+/// Runs the sweep, writes both results files, and reports the verdict.
+#[must_use]
+pub fn run(settings: ExpSettings, quick: bool) -> ServiceOutcome {
+    let loads: &[f64] = if quick { &QUICK_LOADS } else { &FULL_LOADS };
+    let spec = base_spec(settings);
+    let modes = sweep_modes();
+
+    let mut rows: Vec<Vec<PointResult>> = Vec::with_capacity(loads.len());
+    for &gap in loads {
+        eprintln!(
+            "[thoth-experiments] service sweeping mean inter-arrival {gap} cycles \
+             ({:.1} req/Mcycle offered)...",
+            spec.cores as f64 * 1.0e6 / gap
+        );
+        let mut point_spec = spec;
+        point_spec.mean_interarrival_cycles = gap;
+        rows.push(run_modes(&point_spec, &modes));
+    }
+
+    let ok = verdict(&rows);
+
+    let mut t = Table::new(
+        &format!(
+            "Service saturation sweep: {} cores, {} tenants, {} ({} req/core, seed {:#x})",
+            spec.cores,
+            spec.tenants,
+            spec.mix.name(),
+            spec.requests_per_core,
+            spec.seed
+        ),
+        &[
+            "offered req/Mcycle",
+            "mode",
+            "p50 [cyc]",
+            "p99 [cyc]",
+            "p999 [cyc]",
+            "mean [cyc]",
+            "achieved req/Mcycle",
+        ],
+    );
+    for row in &rows {
+        for p in row {
+            t.row(vec![
+                format!("{:.1}", p.offered_per_mcycle),
+                p.mode.to_owned(),
+                format!("{:.0}", p.p50),
+                format!("{:.0}", p.p99),
+                format!("{:.0}", p.p999),
+                format!("{:.0}", p.mean),
+                format!("{:.1}", p.achieved_per_mcycle),
+            ]);
+        }
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/service.json", to_json(settings, quick, &spec, &rows, ok))
+        .expect("write results/service.json");
+    std::fs::write("results/BENCH_service.json", to_bench_json(&spec, &rows))
+        .expect("write results/BENCH_service.json");
+    eprintln!("[thoth-experiments] wrote results/service.json and results/BENCH_service.json");
+
+    ServiceOutcome { tables: vec![t], ok }
+}
+
+/// The gate: every point populated with monotone quantiles, and per
+/// mechanism a saturation knee (heaviest-load p99 ≥ 2× lightest-load
+/// p99 — far below the real ratio once queueing takes over, but robust
+/// to small-sample noise at quick scale).
+fn verdict(rows: &[Vec<PointResult>]) -> bool {
+    let populated = rows.iter().flatten().all(|p| {
+        p.measured > 0
+            && p.p50.is_finite()
+            && p.p999.is_finite()
+            && p.p50 <= p.p99
+            && p.p99 <= p.p999
+    });
+    if !populated {
+        eprintln!("[thoth-experiments] service: unpopulated or non-monotone quantiles");
+        return false;
+    }
+    let (Some(lightest), Some(heaviest)) = (rows.first(), rows.last()) else {
+        return false;
+    };
+    for (l, h) in lightest.iter().zip(heaviest) {
+        if h.p99 < 2.0 * l.p99 {
+            eprintln!(
+                "[thoth-experiments] service: no saturation knee for {} \
+                 (p99 {} -> {} across the load sweep)",
+                l.mode, l.p99, h.p99
+            );
+            return false;
+        }
+    }
+    true
+}
+
+/// One point as a JSON object (shared by both results files).
+fn point_json(p: &PointResult) -> String {
+    format!(
+        "{{ \"mode\": \"{}\", \"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1}, \
+         \"mean\": {:.1}, \"max\": {}, \"p99_read\": {:.1}, \"p99_mutate\": {:.1}, \
+         \"measured\": {}, \"completed\": {}, \"achieved_per_mcycle\": {:.3}, \
+         \"sim_cycles\": {} }}",
+        p.mode,
+        p.p50,
+        p.p99,
+        p.p999,
+        p.mean,
+        p.max,
+        p.p99_read,
+        p.p99_mutate,
+        p.measured,
+        p.completed,
+        p.achieved_per_mcycle,
+        p.sim_cycles
+    )
+}
+
+/// Serializes the full sweep as JSON (hand-rolled — no serializer
+/// dependency by design; see DESIGN.md §5).
+fn to_json(
+    settings: ExpSettings,
+    quick: bool,
+    spec: &ServiceSpec,
+    rows: &[Vec<PointResult>],
+    ok: bool,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{ \"scale\": {}, \"seed\": {}, \"quick\": {}, \"cores\": {}, \
+         \"tenants\": {}, \"mix\": \"{}\", \"zipf_theta\": {}, \"keys_per_tenant\": {}, \
+         \"requests_per_core\": {}, \"warmup_requests_per_core\": {} }},",
+        settings.scale,
+        settings.seed,
+        quick,
+        spec.cores,
+        spec.tenants,
+        spec.mix.name(),
+        spec.zipf_theta,
+        spec.keys_per_tenant,
+        spec.requests_per_core,
+        spec.warmup_requests_per_core
+    );
+    s.push_str("  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let first = row.first().expect("each load point has mode rows");
+        let _ = writeln!(
+            s,
+            "    {{ \"mean_interarrival_cycles\": {}, \"offered_per_mcycle\": {:.3},",
+            first.mean_interarrival_cycles, first.offered_per_mcycle
+        );
+        s.push_str("      \"points\": [\n");
+        for (j, p) in row.iter().enumerate() {
+            let _ = write!(s, "        {}", point_json(p));
+            s.push_str(if j + 1 < row.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("      ] }");
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(s, "  ],\n  \"ok\": {ok}\n}}");
+    s
+}
+
+/// The compact benchmark trajectory: quantiles vs offered load, one line
+/// of points per mechanism — the saturation curve a dashboard plots.
+fn to_bench_json(spec: &ServiceSpec, rows: &[Vec<PointResult>]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"scenario\": {{ \"cores\": {}, \"tenants\": {}, \"mix\": \"{}\", \
+         \"seed\": {} }},",
+        spec.cores,
+        spec.tenants,
+        spec.mix.name(),
+        spec.seed
+    );
+    s.push_str("  \"trajectory\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let first = row.first().expect("each load point has mode rows");
+        let _ = write!(
+            s,
+            "    {{ \"offered_per_mcycle\": {:.3}, \"points\": [ ",
+            first.offered_per_mcycle
+        );
+        for (j, p) in row.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{{ \"mode\": \"{}\", \"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1} }}",
+                p.mode, p.p50, p.p99, p.p999
+            );
+            if j + 1 < row.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str(" ] }");
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(mode: &'static str, p50: f64, p99: f64, p999: f64) -> PointResult {
+        PointResult {
+            mode,
+            mean_interarrival_cycles: 1000.0,
+            offered_per_mcycle: 4000.0,
+            completed: 100,
+            measured: 80,
+            p50,
+            p99,
+            p999,
+            mean: p50,
+            max: p999 as u64,
+            p99_read: p99,
+            p99_mutate: p99,
+            achieved_per_mcycle: 100.0,
+            sim_cycles: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn verdict_accepts_a_knee_and_rejects_flat() {
+        let light = vec![point("baseline", 100.0, 200.0, 300.0)];
+        let heavy = vec![point("baseline", 500.0, 5000.0, 9000.0)];
+        assert!(verdict(&[light.clone(), heavy]));
+        let flat = vec![point("baseline", 100.0, 210.0, 320.0)];
+        assert!(!verdict(&[light, flat]));
+    }
+
+    #[test]
+    fn verdict_rejects_unpopulated_and_nonmonotone() {
+        let mut empty = point("baseline", 0.0, 0.0, 0.0);
+        empty.measured = 0;
+        assert!(!verdict(&[vec![empty]]));
+        let dip = point("baseline", 300.0, 200.0, 400.0); // p50 > p99
+        assert!(!verdict(&[vec![dip]]));
+    }
+
+    #[test]
+    fn json_documents_are_balanced() {
+        let rows = vec![
+            vec![point("baseline", 100.0, 200.0, 300.0)],
+            vec![point("baseline", 400.0, 900.0, 1500.0)],
+        ];
+        let spec = ServiceSpec::default_spec();
+        let j = to_json(ExpSettings::quick(), true, &spec, &rows, true);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"ok\": true"));
+        assert!(j.contains("\"mix\": \"ycsb-a\""));
+        let b = to_bench_json(&spec, &rows);
+        assert_eq!(b.matches('{').count(), b.matches('}').count());
+        assert_eq!(b.matches('[').count(), b.matches(']').count());
+        assert!(b.contains("\"trajectory\""));
+        assert!(b.contains("\"p999\": 300.0"));
+    }
+
+    #[test]
+    fn quick_loads_span_the_knee() {
+        assert!(QUICK_LOADS.len() >= 3);
+        assert!(FULL_LOADS.len() >= QUICK_LOADS.len());
+        // Lightest first, strictly decreasing gaps (increasing load).
+        assert!(QUICK_LOADS.windows(2).all(|w| w[0] > w[1]));
+        assert!(FULL_LOADS.windows(2).all(|w| w[0] > w[1]));
+    }
+}

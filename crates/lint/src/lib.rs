@@ -81,7 +81,7 @@ impl fmt::Display for Rule {
 }
 
 /// Crates whose hot paths forbid std hashing.
-pub const HOT_CRATES: [&str; 12] = [
+pub const HOT_CRATES: [&str; 13] = [
     "cache",
     "core",
     "crashtest",
@@ -90,6 +90,7 @@ pub const HOT_CRATES: [&str; 12] = [
     "merkle",
     "nvm",
     "psan",
+    "service",
     "sim",
     "sim-engine",
     "telemetry",

@@ -1,0 +1,232 @@
+//! Open-loop multi-tenant KV service front-end over the Thoth simulator.
+//!
+//! The paper's evaluation is closed-loop: each core issues its next
+//! transaction as soon as the previous one retires, so the cost of a
+//! secure-memory mechanism shows up as *throughput*. A service front-end
+//! lives in the open-loop regime instead — requests arrive on a schedule
+//! the memory system does not control, and the cost shows up as
+//! *latency*, specifically the tail of the persist-ACK latency measured
+//! from arrival (queueing included). Once the offered load approaches the
+//! machine's service capacity, queues build and the p99/p999 curve bends
+//! sharply upward — the saturation "hockey stick" this crate exists to
+//! chart, per mechanism.
+//!
+//! The pieces:
+//!
+//! * `thoth-workloads::service` generates the deterministic open-loop
+//!   trace: Poisson arrivals, Zipfian keys, YCSB A/B/F mixes, many
+//!   logical tenants (each a persistent hash table) multiplexed over the
+//!   simulated cores;
+//! * `thoth-sim::SecureNvm::run_service` replays it with arrival gating
+//!   and records per-request persist-ACK latency into log2-bucket
+//!   histograms;
+//! * this crate sweeps *offered load* across *mechanisms*, sharing the
+//!   (mode-independent) trace per load point, and extracts
+//!   p50/p99/p999 via `Hist::quantile`.
+//!
+//! # Example
+//!
+//! ```
+//! use thoth_service::{quick_spec, run_modes, sweep_modes};
+//!
+//! let mut spec = quick_spec();
+//! spec.mean_interarrival_cycles = 20_000.0; // light load
+//! let points = run_modes(&spec, &sweep_modes());
+//! assert_eq!(points.len(), 3);
+//! assert!(points.iter().all(|p| p.p50 <= p.p99 && p.p99 <= p.p999));
+//! ```
+
+#![warn(missing_docs)]
+
+use thoth_sim::{Mode, SecureNvm, SimConfig};
+use thoth_workloads::service::{generate_service, ServiceSpec, ServiceTrace};
+
+/// One (offered load, mechanism) cell of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointResult {
+    /// Mechanism label (`"baseline"`, `"thoth-wtsc"`, `"thoth-wtbc"`).
+    pub mode: &'static str,
+    /// Mean inter-arrival gap per core, in cycles (the load knob).
+    pub mean_interarrival_cycles: f64,
+    /// Offered load in requests per million cycles across all cores.
+    pub offered_per_mcycle: f64,
+    /// Requests completed (warm-up included).
+    pub completed: u64,
+    /// Measured requests (the latency histogram population).
+    pub measured: u64,
+    /// Median persist-ACK latency from arrival, in cycles.
+    pub p50: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// 99.9th-percentile latency.
+    pub p999: f64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Largest observed latency.
+    pub max: u64,
+    /// 99th-percentile latency of read-only requests.
+    pub p99_read: f64,
+    /// 99th-percentile latency of mutating requests.
+    pub p99_mutate: f64,
+    /// Achieved throughput: measured requests per million cycles.
+    pub achieved_per_mcycle: f64,
+    /// Simulated cycles of the run (the machine's measured phase).
+    pub sim_cycles: u64,
+}
+
+/// The mechanisms the service sweep compares (the paper's headline trio).
+#[must_use]
+pub fn sweep_modes() -> [Mode; 3] {
+    [Mode::baseline(), Mode::thoth_wtsc(), Mode::thoth_wtbc()]
+}
+
+/// The machine configuration a service run uses: the paper's Table I
+/// defaults at 128 B blocks. The service trace carries no closed-loop
+/// warm-up transactions, so PUB pre-fill (which feeds on warm-up partial
+/// updates) is inert; warm-up happens at the request level instead.
+#[must_use]
+pub fn service_sim_config(mode: Mode) -> SimConfig {
+    SimConfig::paper_default(mode, 128)
+}
+
+/// A small spec for tests and `--quick` CI gates: 2 cores, 6 tenants,
+/// few hundred requests.
+#[must_use]
+pub fn quick_spec() -> ServiceSpec {
+    let mut spec = ServiceSpec::default_spec();
+    spec.cores = 2;
+    spec.tenants = 6;
+    spec.requests_per_core = 150;
+    spec.warmup_requests_per_core = 30;
+    spec.keys_per_tenant = 512;
+    spec.prepopulate_per_tenant = 128;
+    spec
+}
+
+/// Runs one mechanism over a pre-generated trace.
+#[must_use]
+pub fn run_point(spec: &ServiceSpec, trace: &ServiceTrace, mode: Mode) -> PointResult {
+    let mut machine = SecureNvm::new(service_sim_config(mode));
+    let (sim, svc) = machine.run_service(trace);
+    let (p50, p99, p999) = svc.latency_quantiles();
+    let achieved = if sim.total_cycles == 0 {
+        0.0
+    } else {
+        svc.measured as f64 * 1.0e6 / sim.total_cycles as f64
+    };
+    PointResult {
+        mode: mode.label(),
+        mean_interarrival_cycles: spec.mean_interarrival_cycles,
+        offered_per_mcycle: spec.offered_per_mcycle(),
+        completed: svc.completed,
+        measured: svc.measured,
+        p50,
+        p99,
+        p999,
+        mean: svc.latency.mean(),
+        max: svc.latency.max(),
+        p99_read: svc.latency_read.quantile(0.99),
+        p99_mutate: svc.latency_mutate.quantile(0.99),
+        achieved_per_mcycle: achieved,
+        sim_cycles: sim.total_cycles,
+    }
+}
+
+/// Runs every mechanism at one offered load, sharing the generated trace
+/// (arrivals and keys are mechanism-independent, so every mode serves
+/// byte-identical request streams).
+#[must_use]
+pub fn run_modes(spec: &ServiceSpec, modes: &[Mode]) -> Vec<PointResult> {
+    let trace = generate_service(spec);
+    modes
+        .iter()
+        .map(|&mode| run_point(spec, &trace, mode))
+        .collect()
+}
+
+/// Sweeps offered load (one spec per mean inter-arrival gap) across
+/// `modes`. Returns one row of [`PointResult`]s per load point, lightest
+/// load first, in the given mode order.
+#[must_use]
+pub fn sweep(base: &ServiceSpec, mean_gaps: &[f64], modes: &[Mode]) -> Vec<Vec<PointResult>> {
+    let mut gaps: Vec<f64> = mean_gaps.to_vec();
+    gaps.sort_by(|a, b| b.partial_cmp(a).expect("finite load points"));
+    gaps.iter()
+        .map(|&gap| {
+            let mut spec = *base;
+            spec.mean_interarrival_cycles = gap;
+            run_modes(&spec, modes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = quick_spec();
+        let a = run_modes(&spec, &[Mode::thoth_wtsc()]);
+        let b = run_modes(&spec, &[Mode::thoth_wtsc()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_populated() {
+        let points = run_modes(&quick_spec(), &sweep_modes());
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.measured > 0, "{}: no measured requests", p.mode);
+            assert!(p.p50 <= p.p99, "{}: p50 {} > p99 {}", p.mode, p.p50, p.p99);
+            assert!(p.p99 <= p.p999, "{}: p99 {} > p999 {}", p.mode, p.p99, p.p999);
+            assert!(p.p999.is_finite());
+            assert!(p.p999 <= p.max as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn open_loop_queueing_shows_a_knee() {
+        // The defining open-loop property: past saturation, latency is
+        // dominated by queueing delay and explodes, while a light load
+        // stays near raw service latency. 60x the load must cost far more
+        // than 60x... no — the point is the *latency* blows up although
+        // each request does identical work.
+        let mut light = quick_spec();
+        light.mean_interarrival_cycles = 60_000.0;
+        let mut heavy = quick_spec();
+        heavy.mean_interarrival_cycles = 500.0;
+        let l = run_modes(&light, &[Mode::thoth_wtsc()]);
+        let h = run_modes(&heavy, &[Mode::thoth_wtsc()]);
+        assert!(
+            h[0].p99 > 5.0 * l[0].p99,
+            "overload p99 {} should dwarf light-load p99 {}",
+            h[0].p99,
+            l[0].p99
+        );
+        // Under light load the p50 request is served without queueing:
+        // its latency is bounded by a small multiple of the heavy-load
+        // p50, which measures raw service + queueing.
+        assert!(l[0].p50 < h[0].p50);
+    }
+
+    #[test]
+    fn mode_rows_share_the_request_stream() {
+        let points = run_modes(&quick_spec(), &sweep_modes());
+        assert!(points.windows(2).all(|w| {
+            w[0].completed == w[1].completed && w[0].measured == w[1].measured
+        }));
+    }
+
+    #[test]
+    fn sweep_orders_light_to_heavy() {
+        let rows = sweep(
+            &quick_spec(),
+            &[2_000.0, 30_000.0],
+            &[Mode::thoth_wtsc()],
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0][0].offered_per_mcycle < rows[1][0].offered_per_mcycle);
+        assert!(rows[0][0].p99 <= rows[1][0].p99, "load can only hurt the tail");
+    }
+}

@@ -30,6 +30,7 @@ pub mod layout;
 pub mod machine;
 pub mod psan_events;
 pub mod report;
+pub mod service;
 pub mod telemetry;
 
 pub use config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
@@ -39,6 +40,7 @@ pub use layout::MemoryLayout;
 pub use machine::SecureNvm;
 pub use psan_events::{MetaMech, PersistEvent, PersistEventKind, PsanRecorder, NO_CTX};
 pub use report::{RecoveryReport, SimReport};
+pub use service::{ServiceReport, ServiceSession};
 pub use telemetry::MachineTelemetry;
 pub use thoth_telemetry::{TelemetryConfig, TelemetryReport};
 

@@ -7,6 +7,7 @@ use crate::diagnostics::{byte_digest, LeafMismatch, MacMismatch};
 use crate::layout::MemoryLayout;
 use crate::psan_events::{MetaMech, PersistEvent, PersistEventKind, PsanRecorder, NO_CTX};
 use crate::report::{RecoveryReport, SimReport};
+use crate::service::{ServiceReport, ServiceSession};
 use crate::telemetry::MachineTelemetry;
 
 use thoth_cache::{CacheConfig, CacheStats, SetAssocCache};
@@ -21,6 +22,7 @@ use thoth_merkle::{BonsaiTree, MerkleConfig, ShadowTracker};
 use thoth_nvm::{FaultConfig, NvmDevice, WriteCategory};
 use thoth_sim_engine::{Cycle, DetRng, EventQueue};
 use thoth_telemetry::{QueueProbe, TelemetryConfig, TelemetryReport};
+use thoth_workloads::service::ServiceTrace;
 use thoth_workloads::{MultiCoreTrace, TraceOp};
 
 use std::collections::BTreeMap;
@@ -74,6 +76,9 @@ pub struct SecureNvm {
     /// Telemetry session; `None` in normal runs (every hook is gated on
     /// this being present, so plain runs are byte-identical).
     telem: Option<Box<MachineTelemetry>>,
+    /// Open-loop service session (arrival gating + request latency);
+    /// `None` in normal runs.
+    service: Option<Box<ServiceSession>>,
     /// Blocks holding relaxed-store data not yet written back (volatile
     /// dirty lines awaiting a `Flush`).
     relaxed_pending: FastSet<u64>,
@@ -152,6 +157,7 @@ impl SecureNvm {
             op_log: None,
             psan: None,
             telem: None,
+            service: None,
             relaxed_pending: FastSet::default(),
             config,
         }
@@ -805,6 +811,25 @@ impl SecureNvm {
         (report, tm.sink.finish())
     }
 
+    /// Runs an open-loop service trace: every request is gated at its
+    /// arrival cycle, and per-request persist-ACK latency is measured
+    /// **from arrival** (queueing delay included) into log2-bucket
+    /// histograms. Returns the ordinary timing report plus the service
+    /// latency report. Warm-up requests replay but are excluded from the
+    /// latency histograms (the trace carries `warmup_txs_per_core == 0`,
+    /// so the whole run is the measured phase of [`Self::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's request extents do not partition its op
+    /// streams (a malformed [`ServiceTrace`]).
+    pub fn run_service(&mut self, st: &ServiceTrace) -> (SimReport, ServiceReport) {
+        self.service = Some(Box::new(ServiceSession::new(st)));
+        let report = self.run(&st.trace);
+        let session = self.service.take().expect("session installed above");
+        (report, session.into_report())
+    }
+
     /// Pushes one timeline row if the sampling epoch elapsed at `now`.
     fn telemetry_sample(&mut self, now: Cycle) {
         let Self {
@@ -873,6 +898,16 @@ impl SecureNvm {
             }
         }
         while let Some((_, ci)) = queue.pop() {
+            // Open-loop service runs: a core whose next request has not
+            // arrived yet sleeps until the arrival cycle instead of
+            // issuing (closed-loop runs have no session and never stall).
+            if let Some(s) = self.service.as_mut() {
+                if let Some(wake) = s.gate(ci, cores[ci].time) {
+                    cores[ci].time = wake;
+                    queue.schedule(wake, ci);
+                    continue;
+                }
+            }
             let op = trace.cores[ci][cores[ci].idx];
             cores[ci].idx += 1;
             if cores[ci].idx >= trace.cores[ci].len() {
@@ -999,6 +1034,9 @@ impl SecureNvm {
                         log.push(LoggedOp::Commit { core: ci });
                     }
                 }
+            }
+            if let Some(s) = self.service.as_mut() {
+                s.end_op(ci, cores[ci].time);
             }
             if let Some(tm) = self.telem.as_mut() {
                 tm.record_op(ci, op, now.0, cores[ci].time.0);

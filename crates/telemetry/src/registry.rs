@@ -105,6 +105,49 @@ impl Hist {
     pub fn buckets(&self) -> &[u64; 65] {
         &self.buckets
     }
+
+    /// The `p`-quantile of the recorded samples (`p` in `[0, 1]`,
+    /// clamped), estimated from the log2 buckets.
+    ///
+    /// The target rank `p·(count−1)` is located by a cumulative walk over
+    /// the buckets. Buckets 0 and 1 hold a single value each (0 and 1),
+    /// so quantiles landing there are **exact**; a wider bucket `b`
+    /// interpolates linearly across its `[2^(b−1), 2^b)` range, placing
+    /// the bucket's `n` samples at its `n` midpoints. The result is
+    /// clamped to the observed `[min, max]`, which also makes quantiles
+    /// of constant samples exact, and is non-decreasing in `p`. Returns
+    /// `0.0` for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = p * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            // Samples of bucket b occupy ranks [seen, seen + n).
+            if target < (seen + n) as f64 {
+                let est = if b <= 1 {
+                    // Single-valued buckets: 0 holds {0}, 1 holds {1}.
+                    b as f64
+                } else {
+                    let lo = (1u64 << (b - 1)) as f64;
+                    let width = lo; // bucket spans [2^(b-1), 2^b)
+                    // Midpoint interpolation, capped at the bucket's top
+                    // edge (the +0.5 shift would otherwise overshoot it
+                    // and dip below the next bucket's start).
+                    (lo + width * (target - seen as f64 + 0.5) / n as f64).min(2.0 * lo)
+                };
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            seen += n;
+        }
+        self.max as f64
+    }
 }
 
 /// The dense stat registry: counters and histograms, registered by name.
@@ -316,6 +359,105 @@ mod tests {
         let hc = r.hists_csv();
         assert!(hc.starts_with("hist,count,sum,min,max,mean\n"));
         assert!(hc.contains("lat,1,5,5,5,5.000\n"));
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = Hist::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.999), 0.0);
+    }
+
+    #[test]
+    fn quantile_exact_below_bucket_two() {
+        // Buckets 0 and 1 are single-valued: quantiles there are exact.
+        let mut h = Hist::new();
+        for _ in 0..90 {
+            h.observe(0);
+        }
+        for _ in 0..10 {
+            h.observe(1);
+        }
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.95), 1.0);
+        assert_eq!(h.quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_constant_samples_is_exact() {
+        // min==max clamp pins every quantile of a constant stream.
+        let mut h = Hist::new();
+        for _ in 0..1000 {
+            h.observe(1234);
+        }
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(p), 1234.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn quantile_pins_p50_p99_p999_on_uniform() {
+        // 100_000 samples uniform over [0, 4096): the exact p-quantile is
+        // p*4095; log2 interpolation must land within one bucket width
+        // (the containing bucket spans half its upper bound).
+        let mut h = Hist::new();
+        for i in 0..100_000u64 {
+            h.observe(i % 4096);
+        }
+        for (p, exact) in [(0.5, 2047.5), (0.99, 4054.0), (0.999, 4090.9)] {
+            let q = h.quantile(p);
+            let bucket_width = (1u64 << (Hist::bucket_of(exact as u64) - 1)) as f64;
+            assert!(
+                (q - exact).abs() <= bucket_width,
+                "p={p}: got {q}, exact {exact}, width {bucket_width}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 4095.0);
+    }
+
+    #[test]
+    fn quantile_pins_tail_of_bimodal() {
+        // 990 fast samples (value 100) + 10 slow (value 100_000): p50 and
+        // p99 sit in the fast mode, p999 in the slow mode — the shape the
+        // service saturation report depends on.
+        let mut h = Hist::new();
+        for _ in 0..990 {
+            h.observe(100);
+        }
+        for _ in 0..10 {
+            h.observe(100_000);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        assert!((64.0..256.0).contains(&p50), "p50 {p50} in fast bucket");
+        assert!((64.0..256.0).contains(&p99), "p99 {p99} in fast bucket");
+        assert!(
+            (65_536.0..=131_072.0).contains(&p999),
+            "p999 {p999} in slow bucket"
+        );
+        assert!(p999 <= 100_000.0, "clamped to observed max");
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p() {
+        check(100, |g| {
+            let mut h = Hist::new();
+            let n = g.range_usize(1, 300);
+            for _ in 0..n {
+                h.observe(g.below(1 << 30));
+            }
+            let mut prev = h.quantile(0.0);
+            for i in 1..=100 {
+                let q = h.quantile(f64::from(i) / 100.0);
+                assert!(q >= prev, "quantile dips at p={}", f64::from(i) / 100.0);
+                prev = q;
+            }
+            // And bounded by the observed extremes.
+            assert!(h.quantile(0.0) >= h.min() as f64);
+            assert!(h.quantile(1.0) <= h.max() as f64);
+        });
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod heap;
 pub mod queue;
 pub mod rbtree;
 pub mod runtime;
+pub mod service;
 pub mod spec;
 pub mod swap;
 pub mod trace_io;
@@ -38,6 +39,9 @@ pub mod trace_io;
 pub use corpus::{BugSite, SeededBug, SeededVariant};
 pub use heap::PersistentHeap;
 pub use runtime::{AnnotatedTrace, CoreTrace, MultiCoreTrace, OpClass, TraceOp, TxRuntime};
+pub use service::{
+    generate_service, MixKind, ReqKind, RequestMeta, ServiceSpec, ServiceTrace,
+};
 pub use spec::{WorkloadConfig, WorkloadKind};
 
 // Trace import/export lives in [`trace_io`].

@@ -249,6 +249,13 @@ impl TxRuntime {
         self.stats
     }
 
+    /// Number of trace ops recorded so far (the open-loop service
+    /// generator delimits per-request op extents with length deltas).
+    #[must_use]
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+
     /// Allocates persistent memory (no trace — allocator metadata updates
     /// are modeled as part of the structures' own writes).
     pub fn alloc(&mut self, size: u64) -> u64 {

@@ -5,7 +5,7 @@
 //! measurement, with command-line-configurable transaction sizes.
 
 use crate::runtime::{AnnotatedTrace, MultiCoreTrace, TxRuntime};
-use crate::{btree, ctree, hashmap, queue, rbtree, swap};
+use crate::{btree, ctree, hashmap, queue, rbtree, service, swap};
 use thoth_sim_engine::DetRng;
 
 /// The five benchmarks of the paper's evaluation.
@@ -24,6 +24,10 @@ pub enum WorkloadKind {
     /// Persistent ring queue — an extension beyond the paper's suite
     /// (not part of [`WorkloadKind::ALL`], which is the paper's set).
     Queue,
+    /// Multi-tenant KV service core (closed-loop form of the open-loop
+    /// [`crate::service`] subsystem: per-core tenant tables, YCSB-A mix,
+    /// Zipfian keys) — an extension beyond the paper's suite.
+    Service,
 }
 
 impl WorkloadKind {
@@ -38,13 +42,14 @@ impl WorkloadKind {
     ];
 
     /// The paper's workloads plus this repository's extensions.
-    pub const EXTENDED: [WorkloadKind; 6] = [
+    pub const EXTENDED: [WorkloadKind; 7] = [
         WorkloadKind::Btree,
         WorkloadKind::Rbtree,
         WorkloadKind::Hashmap,
         WorkloadKind::Ctree,
         WorkloadKind::Swap,
         WorkloadKind::Queue,
+        WorkloadKind::Service,
     ];
 
     /// Stable lowercase name used in reports.
@@ -57,6 +62,7 @@ impl WorkloadKind {
             WorkloadKind::Ctree => "ctree",
             WorkloadKind::Swap => "swap",
             WorkloadKind::Queue => "queue",
+            WorkloadKind::Service => "service",
         }
     }
 
@@ -118,6 +124,7 @@ impl WorkloadConfig {
         let footprint = match kind {
             WorkloadKind::Swap => 4,
             WorkloadKind::Queue => 1024,
+            WorkloadKind::Service => 16_384,
             _ => 200_000,
         };
         WorkloadConfig {
@@ -147,7 +154,7 @@ impl WorkloadConfig {
 /// staggered by an odd number of blocks so that the cores' identically
 /// structured heaps (logs, commit records) do not alias onto the same
 /// NVM banks.
-fn core_heap_base(core: usize) -> u64 {
+pub(crate) fn core_heap_base(core: usize) -> u64 {
     0x1000_0000 + core as u64 * ((1 << 30) + 37 * 128)
 }
 
@@ -234,6 +241,16 @@ pub fn generate_annotated(config: WorkloadConfig) -> AnnotatedTrace {
             WorkloadKind::Swap => swap::run(&mut rt, &mut rng, txs, config.tx_size, config.footprint),
             WorkloadKind::Queue => {
                 queue::run(&mut rt, &mut rng, txs, config.tx_size, config.footprint);
+            }
+            WorkloadKind::Service => {
+                service::run_closed(
+                    &mut rt,
+                    &mut rng,
+                    prepop,
+                    txs,
+                    config.tx_size,
+                    config.footprint,
+                );
             }
         }
         let (ops, cls) = rt.into_annotated();
