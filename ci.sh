@@ -25,6 +25,9 @@ cargo run -q --release --locked -p thoth-experiments -- crashtest --quick
 echo "== psan (sanitizer clean sweep + seeded-bug corpus) =="
 cargo run -q --release --locked -p thoth-experiments -- psan --quick
 
+echo "== fuzz (persist-trace fuzzer, three-observer cross-check) =="
+cargo run -q --release --locked -p thoth-experiments -- fuzz --quick
+
 echo "== telemetry (observability layer unit tests) =="
 cargo test -q --locked -p thoth-telemetry
 

@@ -27,4 +27,6 @@ pub mod sweep;
 
 pub use audit::{audit_recovery, AuditReport};
 pub use shadow::ShadowHeap;
-pub use sweep::{oracle_selftest, run_case, sweep_workload, CaseResult, SweepConfig, SweepResult};
+pub use sweep::{
+    oracle_selftest, probe_grid, run_case, sweep_workload, CaseResult, SweepConfig, SweepResult,
+};

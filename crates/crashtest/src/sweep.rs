@@ -203,8 +203,12 @@ fn sample_points(counts: &CrashSiteCounts, samples: usize, rng: &mut DetRng) -> 
 }
 
 /// The minimization probe grid: `{0, 1, 2, 4, 8, …}` strictly below
-/// `nth`, ascending.
-fn probe_grid(nth: u64) -> Vec<u64> {
+/// `nth`, ascending. Public so other harnesses (the persist-trace
+/// fuzzer's disagreement minimizer) shrink with the same earliest-first
+/// discipline: the grid is ascending, so the first ordinal that still
+/// fails is the minimal repro the grid can produce.
+#[must_use]
+pub fn probe_grid(nth: u64) -> Vec<u64> {
     let mut grid = Vec::new();
     let mut v = 0u64;
     while v < nth {

@@ -20,6 +20,7 @@
 //! | (extensions) | [`lifetime`] | write totals + wear concentration per mode |
 //! | (extensions) | [`telemetry`] | instrumented runs: timelines, traces, neutrality |
 //! | (extensions) | [`service`] | open-loop saturation: tail latency vs offered load |
+//! | (extensions) | [`fuzz`] | persist-trace fuzzer: three-observer cross-check |
 //!
 //! Each experiment prints a text table (and returns structured rows) so
 //! the binary's output can be diffed against `EXPERIMENTS.md`.
@@ -30,6 +31,7 @@ pub mod ablation;
 pub mod cachesweep;
 pub mod crashtest;
 pub mod fig3;
+pub mod fuzz;
 pub mod headline;
 pub mod lifetime;
 pub mod perf;

@@ -15,8 +15,8 @@
 use thoth_experiments::runner::ExpSettings;
 use thoth_experiments::tablefmt::Table;
 use thoth_experiments::{
-    ablation, cachesweep, crashtest, fig3, headline, lifetime, perf, psan, recovery, service,
-    telemetry, txsweep, wpqsweep,
+    ablation, cachesweep, crashtest, fig3, fuzz, headline, lifetime, perf, psan, recovery,
+    service, telemetry, txsweep, wpqsweep,
 };
 
 use std::path::PathBuf;
@@ -28,6 +28,7 @@ fn main() {
     let mut scale_given = false;
     let mut quick = false;
     let mut point: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut trajectory: Vec<f64> = Vec::new();
     let mut expect_digest: Option<u64> = None;
 
@@ -45,6 +46,9 @@ fn main() {
             }
             "--point" => {
                 point = Some(args.next().expect("--point needs WORKLOAD:SITE:N"));
+            }
+            "--trace" => {
+                trace = Some(args.next().expect("--trace needs SEED:ANCHOR"));
             }
             "--trajectory" => {
                 let v = args.next().expect("--trajectory needs S1,S2,...");
@@ -151,6 +155,14 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "fuzz" => {
+                let out = fuzz::run(settings, quick || !scale_given, trace.as_deref());
+                emit(out.tables, "fuzz");
+                if !out.ok {
+                    eprintln!("fuzz: FAILED (observer disagreement or blind selftest, see above)");
+                    std::process::exit(1);
+                }
+            }
             "telemetry" => {
                 // Instrumented runs default to the quick trace scale so
                 // artifacts regenerate quickly; --scale overrides.
@@ -223,6 +235,11 @@ EXPERIMENTS:
             + seeded-bug corpus (every planted bug caught at its site),
             writes results/psan.json; exits non-zero on any miss
             (quick scale unless --scale)
+  fuzz      persist-trace fuzzer: seeded well-formed traces crash-injected
+            through the machine, cross-checked by three observers (psan,
+            recovery audit, event-derived shadow heap) plus an injected-
+            disagreement selftest; writes results/fuzz.json; exits
+            non-zero on any disagreement (200 traces, 400 with --scale)
   telemetry instrumented headline runs: occupancy timelines, counters,
             Chrome trace_event JSON under results/telemetry/, with a
             telemetry-off-vs-on neutrality check; exits non-zero on any
@@ -244,6 +261,9 @@ OPTIONS:
   --point WORKLOAD:SITE:N
              (crashtest only) replay one crash point, e.g.
              btree:persist:117 — the recipe printed on sweep failure
+  --trace SEED:ANCHOR
+             (fuzz only) replay one fuzz case verbosely — the recipe
+             printed when a disagreement is minimized
   --trajectory S1,S2,...
              (perf only) also measure the matrix at each extra scale and
              record every point in the results trajectory array

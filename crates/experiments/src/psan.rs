@@ -3,15 +3,22 @@
 //! Two halves, both required for the verdict:
 //!
 //! * **Clean sweep** — every paper workload (plus the service extension)
-//!   runs unmodified through the instrumented simulator; the sanitizer
-//!   must report zero durability or ordering findings *and* zero
-//!   performance smells (the workload runtime's undo-log dedup keeps the
-//!   transactions smell-free).
-//! * **Seeded corpus** — each eligible (workload × bug) pair from
-//!   `thoth_workloads::corpus` is planted and replayed; the sanitizer must
-//!   produce a finding of the expected class at exactly the planted site
-//!   (core, op index, block address). A miss or a wrong-site detection
-//!   fails the experiment.
+//!   runs unmodified through the instrumented simulator under every
+//!   persistence mechanism (baseline, Thoth/WTSC, Thoth/WTBC, ideal
+//!   Anubis-ECC); the sanitizer must report zero durability or ordering
+//!   findings *and* zero performance smells for all of them (the
+//!   workload runtime's undo-log dedup keeps the transactions
+//!   smell-free, and a mechanism-dependent finding would mean the
+//!   checker models the mechanism, not the program).
+//! * **Seeded corpus** — the classic single-core bugs (dropped flush,
+//!   swapped log/data, double flush) are planted in every paper
+//!   workload, and each cross-core race variant (unfenced counter,
+//!   swapped drain order, relaxed steal, cover overlap) is planted in a
+//!   designated workload via the pilot-run alignment
+//!   ([`thoth_psan::seed_variant`]). The sanitizer must produce a
+//!   finding of the expected class at exactly the planted site (core,
+//!   op index, block address). A miss or a wrong-site detection fails
+//!   the experiment.
 //!
 //! Results go to stdout as tables and to `results/psan.json`; the binary
 //! exits non-zero on `!ok`.
@@ -19,25 +26,49 @@
 use crate::runner::ExpSettings;
 use crate::tablefmt::Table;
 
-use thoth_psan::{analyze_clean, analyze_variant, detection, expected_class, BLOCK_BYTES};
-use thoth_workloads::{corpus, spec, SeededBug, WorkloadKind};
+use thoth_psan::{
+    analyze_clean_under, analyze_variant, detection, expected_class, seed_variant, BLOCK_BYTES,
+};
+use thoth_sim::Mode;
+use thoth_workloads::{spec, SeededBug, WorkloadKind};
 
 use std::fmt::Write as _;
+
+/// The persistence mechanisms the clean sweep must be silent under.
+fn modes() -> [Mode; 4] {
+    [
+        Mode::baseline(),
+        Mode::thoth_wtsc(),
+        Mode::thoth_wtbc(),
+        Mode::AnubisEcc,
+    ]
+}
+
+/// The designated workload for each cross-core race bug: one planting
+/// per race kind keeps the corpus proportionate while the library test
+/// suite covers the full (race × workload) matrix.
+const RACE_SITES: [(SeededBug, WorkloadKind); 4] = [
+    (SeededBug::UnfencedCounter, WorkloadKind::Btree),
+    (SeededBug::SwappedDrainOrder, WorkloadKind::Hashmap),
+    (SeededBug::RelaxedSteal, WorkloadKind::Ctree),
+    (SeededBug::CoverOverlap, WorkloadKind::Rbtree),
+];
 
 /// Tables plus an overall verdict (the binary exits non-zero on `!ok`).
 #[derive(Debug)]
 pub struct PsanOutcome {
     /// Rendered result tables.
     pub tables: Vec<Table>,
-    /// Clean workloads were finding-free and every planted bug was caught
-    /// at its site.
+    /// Clean workloads were finding-free under every mode and every
+    /// planted bug was caught at its site.
     pub ok: bool,
 }
 
-/// One clean-workload verdict.
+/// One clean-workload verdict (per mode).
 #[derive(Debug)]
 struct CleanRow {
     kind: WorkloadKind,
+    mode: Mode,
     errors: usize,
     smells: usize,
     events: u64,
@@ -66,6 +97,40 @@ fn seeds(quick: bool) -> &'static [u64] {
     }
 }
 
+/// Plants `bug` with `seed` in the (cached) annotated trace of `kind`
+/// and records the verdict row.
+fn plant(
+    rows: &mut Vec<CorpusRow>,
+    annotated: &thoth_workloads::AnnotatedTrace,
+    kind: WorkloadKind,
+    bug: SeededBug,
+    seed: u64,
+) {
+    let Some(variant) = seed_variant(annotated, bug, seed) else {
+        rows.push(CorpusRow {
+            kind,
+            bug,
+            seed,
+            site: None,
+            detected: false,
+            findings: 0,
+        });
+        return;
+    };
+    let run = analyze_variant(&variant);
+    rows.push(CorpusRow {
+        kind,
+        bug,
+        seed,
+        site: Some(format!(
+            "core{}:op{}:{:#x}",
+            variant.site.core, variant.site.op, variant.site.addr
+        )),
+        detected: detection(&run, &variant).is_some(),
+        findings: run.report.findings.len(),
+    });
+}
+
 /// Runs the clean sweep and the seeded-bug corpus, writes
 /// `results/psan.json`, and reports the verdict.
 #[must_use]
@@ -75,50 +140,48 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
     let mut corpus_rows = Vec::new();
 
     // The paper's five workloads plus the multi-tenant service core, so
-    // the open-loop subsystem ships with ordering-sanitizer coverage.
-    let swept = WorkloadKind::ALL.into_iter().chain([WorkloadKind::Service]);
-    for kind in swept {
-        eprintln!("[thoth-experiments] psan analyzing clean {kind}...");
-        let run = analyze_clean(kind, scale);
-        clean_rows.push(CleanRow {
-            kind,
-            errors: run
-                .report
-                .findings
-                .iter()
-                .filter(|f| !f.class.is_smell())
-                .count(),
-            smells: run.report.smells().len(),
-            events: run.report.stats.events,
-        });
+    // the open-loop subsystem ships with ordering-sanitizer coverage —
+    // each under all four persistence mechanisms.
+    let swept: Vec<WorkloadKind> = WorkloadKind::ALL
+        .into_iter()
+        .chain([WorkloadKind::Service])
+        .collect();
+    for &kind in &swept {
+        for mode in modes() {
+            eprintln!(
+                "[thoth-experiments] psan analyzing clean {kind} under {}...",
+                mode.label()
+            );
+            let run = analyze_clean_under(kind, scale, mode);
+            clean_rows.push(CleanRow {
+                kind,
+                mode,
+                errors: run
+                    .report
+                    .findings
+                    .iter()
+                    .filter(|f| !f.class.is_smell())
+                    .count(),
+                smells: run.report.smells().len(),
+                events: run.report.stats.events,
+            });
+        }
+    }
 
+    // Corpus: classic bugs across every paper workload, race bugs once
+    // each at their designated workload (alignment-seeded).
+    for kind in WorkloadKind::ALL {
         let annotated = spec::generate_annotated(thoth_psan::workload_config(kind, scale));
-        for bug in SeededBug::ALL {
+        for bug in SeededBug::CLASSIC {
             for &seed in seeds(quick) {
-                let Some(variant) = corpus::seed_bug(&annotated, bug, seed, BLOCK_BYTES as u64)
-                else {
-                    corpus_rows.push(CorpusRow {
-                        kind,
-                        bug,
-                        seed,
-                        site: None,
-                        detected: false,
-                        findings: 0,
-                    });
-                    continue;
-                };
-                let run = analyze_variant(&variant);
-                corpus_rows.push(CorpusRow {
-                    kind,
-                    bug,
-                    seed,
-                    site: Some(format!(
-                        "core{}:op{}:{:#x}",
-                        variant.site.core, variant.site.op, variant.site.addr
-                    )),
-                    detected: detection(&run, &variant).is_some(),
-                    findings: run.report.findings.len(),
-                });
+                plant(&mut corpus_rows, &annotated, kind, bug, seed);
+            }
+        }
+        for (bug, site_kind) in RACE_SITES {
+            if site_kind == kind {
+                for &seed in seeds(quick) {
+                    plant(&mut corpus_rows, &annotated, kind, bug, seed);
+                }
             }
         }
     }
@@ -129,13 +192,18 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
         .all(|r| r.site.is_none() || r.detected);
     let ok = clean_ok && corpus_ok;
 
+    let eligible = corpus_rows.iter().filter(|r| r.site.is_some()).count();
+    let caught = corpus_rows.iter().filter(|r| r.detected).count();
+    eprintln!("[thoth-experiments] psan corpus: {caught}/{eligible} planted bugs caught");
+
     let mut t_clean = Table::new(
-        &format!("Sanitizer clean sweep (scale {scale}, Thoth/WTSC)"),
-        &["workload", "events", "errors", "smells", "verdict"],
+        &format!("Sanitizer clean sweep (scale {scale}, all mechanisms)"),
+        &["workload", "mode", "events", "errors", "smells", "verdict"],
     );
     for r in &clean_rows {
         t_clean.row(vec![
             r.kind.name().to_owned(),
+            r.mode.label().to_owned(),
             r.events.to_string(),
             r.errors.to_string(),
             r.smells.to_string(),
@@ -149,7 +217,7 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
     }
 
     let mut t_corpus = Table::new(
-        "Sanitizer seeded-bug corpus (expected class at planted site)",
+        &format!("Sanitizer seeded-bug corpus ({caught}/{eligible} caught at planted sites)"),
         &["workload", "bug", "seed", "site", "findings", "verdict"],
     );
     for r in &corpus_rows {
@@ -216,8 +284,10 @@ fn to_json(
     for (i, r) in clean.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{ \"workload\": \"{}\", \"events\": {}, \"errors\": {}, \"smells\": {} }}",
+            "    {{ \"workload\": \"{}\", \"mode\": \"{}\", \"events\": {}, \"errors\": {}, \
+             \"smells\": {} }}",
             r.kind.name(),
+            r.mode.label(),
             r.events,
             r.errors,
             r.smells
@@ -258,9 +328,21 @@ mod tests {
     }
 
     #[test]
+    fn race_sites_cover_every_race_bug_once() {
+        for bug in SeededBug::RACES {
+            assert_eq!(RACE_SITES.iter().filter(|&&(b, _)| b == bug).count(), 1);
+        }
+        // Quick corpus size: 5 workloads × 3 classic bugs − 1 ineligible
+        // (swap has no log) + 4 races = 18 eligible detections.
+        let classic = WorkloadKind::ALL.len() * SeededBug::CLASSIC.len() - 1;
+        assert_eq!(classic + RACE_SITES.len(), 18);
+    }
+
+    #[test]
     fn json_is_balanced_and_carries_the_verdict() {
         let clean = vec![CleanRow {
             kind: WorkloadKind::Swap,
+            mode: Mode::baseline(),
             errors: 0,
             smells: 0,
             events: 10,
@@ -277,6 +359,7 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"ok\": true"));
+        assert!(j.contains("\"mode\": \"baseline\""));
         assert!(j.contains("\"expected_class\": \"durability\""));
     }
 
@@ -287,7 +370,7 @@ mod tests {
         let scale = thoth_psan::DEFAULT_SCALE;
         let annotated =
             spec::generate_annotated(thoth_psan::workload_config(WorkloadKind::Swap, scale));
-        let v = corpus::seed_bug(&annotated, SeededBug::DroppedFlush, 1, BLOCK_BYTES as u64)
+        let v = seed_variant(&annotated, SeededBug::DroppedFlush, 1)
             .expect("swap exposes dropped-flush sites");
         let run = analyze_variant(&v);
         assert!(detection(&run, &v).is_some());

@@ -6,6 +6,12 @@
 //! p50/p99/p999 persist-ACK latency *measured from arrival* at each
 //! point — the saturation ("hockey-stick") curve per mechanism.
 //!
+//! A second section holds load fixed at a mid-sweep point and varies the
+//! request mix across YCSB-A/B/F (update-heavy, read-heavy, RMW-heavy),
+//! reporting the same quantiles per mechanism plus each mix's measured
+//! mutate fraction — the stats that also bias the persist-trace fuzzer
+//! ([`crate::fuzz`]).
+//!
 //! Results go to stdout as a table, to `results/service.json` (full
 //! detail per point) and `results/BENCH_service.json` (the compact
 //! quantile-vs-offered-load trajectory). The run is fully deterministic
@@ -18,7 +24,8 @@ use crate::runner::ExpSettings;
 use crate::tablefmt::Table;
 
 use thoth_service::{run_modes, sweep_modes, PointResult};
-use thoth_workloads::service::ServiceSpec;
+use thoth_workloads::service::{MixKind, ServiceSpec};
+use thoth_workloads::generate_service;
 
 use std::fmt::Write as _;
 
@@ -29,6 +36,13 @@ pub const FULL_LOADS: [f64; 5] = [24_000.0, 12_000.0, 6_000.0, 3_000.0, 1_200.0]
 
 /// The CI gate's trimmed sweep (still ≥ 3 points spanning the knee).
 pub const QUICK_LOADS: [f64; 3] = [24_000.0, 6_000.0, 1_200.0];
+
+/// The fixed load of the mix-comparison section (a mid-sweep point in
+/// both load lists: loaded but not saturated, so mix differences show).
+pub const MIX_COMPARE_LOAD: f64 = 6_000.0;
+
+/// The YCSB mixes the comparison section serves.
+pub const MIXES: [MixKind; 3] = [MixKind::A, MixKind::B, MixKind::F];
 
 /// Tables plus an overall verdict (the binary exits non-zero on `!ok`).
 #[derive(Debug)]
@@ -69,7 +83,22 @@ pub fn run(settings: ExpSettings, quick: bool) -> ServiceOutcome {
         rows.push(run_modes(&point_spec, &modes));
     }
 
-    let ok = verdict(&rows);
+    // Mix comparison: hold load at the mid-sweep point and vary the
+    // request mix across YCSB-A/B/F.
+    let mut mix_rows: Vec<(MixKind, u32, Vec<PointResult>)> = Vec::with_capacity(MIXES.len());
+    for mix in MIXES {
+        eprintln!(
+            "[thoth-experiments] service comparing mix {} at {MIX_COMPARE_LOAD} cycles...",
+            mix.name()
+        );
+        let mut mix_spec = spec;
+        mix_spec.mix = mix;
+        mix_spec.mean_interarrival_cycles = MIX_COMPARE_LOAD;
+        let mutate = generate_service(&mix_spec).mix_stats().mutate_per_mille();
+        mix_rows.push((mix, mutate, run_modes(&mix_spec, &modes)));
+    }
+
+    let ok = verdict(&rows) && mix_verdict(&mix_rows);
 
     let mut t = Table::new(
         &format!(
@@ -104,14 +133,82 @@ pub fn run(settings: ExpSettings, quick: bool) -> ServiceOutcome {
         }
     }
 
+    let mut t_mix = Table::new(
+        &format!(
+            "YCSB mix comparison at {MIX_COMPARE_LOAD} cycles mean inter-arrival \
+             ({:.1} req/Mcycle offered)",
+            spec.cores as f64 * 1.0e6 / MIX_COMPARE_LOAD
+        ),
+        &[
+            "mix",
+            "mutate/1000",
+            "mode",
+            "p50 [cyc]",
+            "p99 [cyc]",
+            "p999 [cyc]",
+            "achieved req/Mcycle",
+        ],
+    );
+    for (mix, mutate, row) in &mix_rows {
+        for p in row {
+            t_mix.row(vec![
+                mix.name().to_owned(),
+                mutate.to_string(),
+                p.mode.to_owned(),
+                format!("{:.0}", p.p50),
+                format!("{:.0}", p.p99),
+                format!("{:.0}", p.p999),
+                format!("{:.1}", p.achieved_per_mcycle),
+            ]);
+        }
+    }
+
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/service.json", to_json(settings, quick, &spec, &rows, ok))
-        .expect("write results/service.json");
+    std::fs::write(
+        "results/service.json",
+        to_json(settings, quick, &spec, &rows, &mix_rows, ok),
+    )
+    .expect("write results/service.json");
     std::fs::write("results/BENCH_service.json", to_bench_json(&spec, &rows))
         .expect("write results/BENCH_service.json");
     eprintln!("[thoth-experiments] wrote results/service.json and results/BENCH_service.json");
 
-    ServiceOutcome { tables: vec![t], ok }
+    ServiceOutcome {
+        tables: vec![t, t_mix],
+        ok,
+    }
+}
+
+/// The mix-comparison gate: every mix point populated with monotone
+/// quantiles, and the measured mutate fractions actually differ across
+/// mixes (read-heavy B mutates strictly less than update-heavy A).
+fn mix_verdict(mix_rows: &[(MixKind, u32, Vec<PointResult>)]) -> bool {
+    let populated = mix_rows.iter().flat_map(|(_, _, row)| row).all(|p| {
+        p.measured > 0
+            && p.p999.is_finite()
+            && p.p50 <= p.p99
+            && p.p99 <= p.p999
+    });
+    if !populated {
+        eprintln!("[thoth-experiments] service: unpopulated mix-comparison quantiles");
+        return false;
+    }
+    let mutate_of = |mix: MixKind| {
+        mix_rows
+            .iter()
+            .find(|(m, _, _)| *m == mix)
+            .map(|&(_, mutate, _)| mutate)
+    };
+    match (mutate_of(MixKind::A), mutate_of(MixKind::B)) {
+        (Some(a), Some(b)) if b < a => true,
+        other => {
+            eprintln!(
+                "[thoth-experiments] service: mix stats not differentiated \
+                 (mutate/1000 A vs B: {other:?})"
+            );
+            false
+        }
+    }
 }
 
 /// The gate: every point populated with monotone quantiles, and per
@@ -175,6 +272,7 @@ fn to_json(
     quick: bool,
     spec: &ServiceSpec,
     rows: &[Vec<PointResult>],
+    mix_rows: &[(MixKind, u32, Vec<PointResult>)],
     ok: bool,
 ) -> String {
     let mut s = String::from("{\n");
@@ -209,6 +307,22 @@ fn to_json(
         }
         s.push_str("      ] }");
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"mixes\": [\n");
+    for (i, (mix, mutate, row)) in mix_rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"mix\": \"{}\", \"mutate_per_mille\": {mutate}, \
+             \"mean_interarrival_cycles\": {MIX_COMPARE_LOAD},",
+            mix.name()
+        );
+        s.push_str("      \"points\": [\n");
+        for (j, p) in row.iter().enumerate() {
+            let _ = write!(s, "        {}", point_json(p));
+            s.push_str(if j + 1 < row.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("      ] }");
+        s.push_str(if i + 1 < mix_rows.len() { ",\n" } else { "\n" });
     }
     let _ = writeln!(s, "  ],\n  \"ok\": {ok}\n}}");
     s
@@ -300,16 +414,40 @@ mod tests {
             vec![point("baseline", 400.0, 900.0, 1500.0)],
         ];
         let spec = ServiceSpec::default_spec();
-        let j = to_json(ExpSettings::quick(), true, &spec, &rows, true);
+        let mixes = vec![(MixKind::B, 50, vec![point("baseline", 90.0, 180.0, 270.0)])];
+        let j = to_json(ExpSettings::quick(), true, &spec, &rows, &mixes, true);
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"ok\": true"));
         assert!(j.contains("\"mix\": \"ycsb-a\""));
+        assert!(j.contains("\"mix\": \"ycsb-b\""));
+        assert!(j.contains("\"mutate_per_mille\": 50"));
         let b = to_bench_json(&spec, &rows);
         assert_eq!(b.matches('{').count(), b.matches('}').count());
         assert_eq!(b.matches('[').count(), b.matches(']').count());
         assert!(b.contains("\"trajectory\""));
         assert!(b.contains("\"p999\": 300.0"));
+    }
+
+    #[test]
+    fn mix_verdict_requires_differentiated_mixes() {
+        let row = vec![point("baseline", 100.0, 200.0, 300.0)];
+        let good = vec![
+            (MixKind::A, 504, row.clone()),
+            (MixKind::B, 50, row.clone()),
+            (MixKind::F, 501, row.clone()),
+        ];
+        assert!(mix_verdict(&good));
+        // B mutating as much as A means the mix knob is not wired.
+        let flat = vec![(MixKind::A, 500, row.clone()), (MixKind::B, 500, row)];
+        assert!(!mix_verdict(&flat));
+    }
+
+    #[test]
+    fn mix_compare_load_is_a_sweep_point() {
+        assert!(QUICK_LOADS.contains(&MIX_COMPARE_LOAD));
+        assert!(FULL_LOADS.contains(&MIX_COMPARE_LOAD));
+        assert_eq!(MIXES.len(), 3);
     }
 
     #[test]

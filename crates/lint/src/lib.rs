@@ -15,6 +15,15 @@
 //!   intrinsics live there behind runtime feature detection); anywhere
 //!   else it needs an explicit `thoth-lint: allow(unsafe)` waiver, so
 //!   unsound blocks cannot creep into the simulator unaudited.
+//! * [`Rule::RelaxedAtomic`] — no `Ordering::Relaxed` atomics in hot
+//!   crates: the simulator's determinism contract (and the sanitizer's
+//!   happens-before model) assume acquire/release edges; a relaxed
+//!   atomic snuck into shared state is exactly the fence-elision bug
+//!   `thoth-psan` hunts in traces, appearing in the host program.
+//! * [`Rule::StaticMut`] — no bare `static mut` in hot crates: mutable
+//!   globals bypass both the borrow checker and the deterministic-replay
+//!   story; use interior mutability behind an owned handle (or waive
+//!   with justification).
 //!
 //! The scanner is a small Rust lexer that blanks comments, strings and
 //! char literals (so `"HashMap"` in a doc comment never trips a rule),
@@ -39,11 +48,22 @@ pub enum Rule {
     Unwrap,
     /// `unsafe` outside `thoth-crypto` without an explicit waiver.
     Unsafe,
+    /// `Ordering::Relaxed` atomics in a hot crate.
+    RelaxedAtomic,
+    /// Bare `static mut` in a hot crate.
+    StaticMut,
 }
 
 impl Rule {
     /// Every rule.
-    pub const ALL: [Rule; 4] = [Rule::StdHash, Rule::Println, Rule::Unwrap, Rule::Unsafe];
+    pub const ALL: [Rule; 6] = [
+        Rule::StdHash,
+        Rule::Println,
+        Rule::Unwrap,
+        Rule::Unsafe,
+        Rule::RelaxedAtomic,
+        Rule::StaticMut,
+    ];
 
     /// Stable name, also the waiver token: `thoth-lint: allow(<name>)`.
     #[must_use]
@@ -53,6 +73,8 @@ impl Rule {
             Rule::Println => "println",
             Rule::Unwrap => "unwrap",
             Rule::Unsafe => "unsafe",
+            Rule::RelaxedAtomic => "relaxed-atomic",
+            Rule::StaticMut => "static-mut",
         }
     }
 
@@ -69,6 +91,12 @@ impl Rule {
             Rule::Unwrap => ".unwrap() in non-test library code: use .expect(\"invariant\")",
             Rule::Unsafe => {
                 "unsafe outside thoth-crypto: keep intrinsics in the crypto crate or waive explicitly"
+            }
+            Rule::RelaxedAtomic => {
+                "Ordering::Relaxed atomic in a hot crate: use acquire/release (or waive with why)"
+            }
+            Rule::StaticMut => {
+                "static mut in a hot crate: use interior mutability behind an owned handle"
             }
         }
     }
@@ -349,6 +377,12 @@ pub fn scan_source(
                 push(Rule::StdHash, off, &mut out);
             }
         }
+        for off in token_positions(&blanked, "Ordering::Relaxed") {
+            push(Rule::RelaxedAtomic, off, &mut out);
+        }
+        for off in token_positions(&blanked, "static mut") {
+            push(Rule::StaticMut, off, &mut out);
+        }
     }
     if !prints_allowed {
         for tok in ["println!", "eprintln!"] {
@@ -544,6 +578,40 @@ mod tests {
         // `unsafe` inside strings/comments never trips the rule.
         let doc = "// unsafe is discussed here\nlet s = \"unsafe\";\n";
         assert!(scan_source(doc, "crates/sim/src/x.rs", "sim", false).is_empty());
+    }
+
+    #[test]
+    fn relaxed_atomic_rule_flags_hot_crates_only() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let v = scan_source(src, "crates/sim/src/machine.rs", "sim", false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::RelaxedAtomic);
+        // Output crates may pace progress counters however they like.
+        assert!(scan_source(src, "crates/experiments/src/runner.rs", "experiments", false)
+            .is_empty());
+        // Acquire/release orderings are fine even in hot crates.
+        let ok = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::AcqRel); }\n";
+        assert!(scan_source(ok, "crates/sim/src/machine.rs", "sim", false).is_empty());
+        // Waivers and comments/strings are honored as for every rule.
+        let waived =
+            "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); } // thoth-lint: allow(relaxed-atomic)\n";
+        assert!(scan_source(waived, "crates/sim/src/machine.rs", "sim", false).is_empty());
+        let doc = "// Ordering::Relaxed is discussed here\nlet s = \"Ordering::Relaxed\";\n";
+        assert!(scan_source(doc, "crates/sim/src/x.rs", "sim", false).is_empty());
+    }
+
+    #[test]
+    fn static_mut_rule_flags_bare_mutable_globals() {
+        let src = "static mut COUNTER: u64 = 0;\n";
+        let v = scan_source(src, "crates/memctrl/src/wpq.rs", "memctrl", false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StaticMut);
+        // Immutable statics are fine; so are non-hot crates and waivers.
+        assert!(scan_source("static N: u64 = 0;\n", "crates/memctrl/src/x.rs", "memctrl", false)
+            .is_empty());
+        assert!(scan_source(src, "crates/experiments/src/x.rs", "experiments", false).is_empty());
+        let waived = "static mut C: u64 = 0; // thoth-lint: allow(static-mut)\n";
+        assert!(scan_source(waived, "crates/memctrl/src/x.rs", "memctrl", false).is_empty());
     }
 
     #[test]

@@ -51,6 +51,9 @@ struct Entry {
     /// `Some(cycle)` once the drain engine committed this entry to an NVM
     /// write finishing at `cycle`; committed entries no longer coalesce.
     drain_done: Option<Cycle>,
+    /// Origin provenance: one bit per core that contributed a write to
+    /// this entry (coalescing ORs the masks); 0 for background traffic.
+    origin_mask: u32,
 }
 
 /// One observable WPQ transition — the durable-ordering edges the
@@ -72,6 +75,9 @@ pub enum WpqEvent {
     Drained {
         /// Block address.
         addr: u64,
+        /// One bit per core that contributed a write to the drained entry
+        /// (see [`Wpq::set_origin`]); 0 for pure background traffic.
+        origins: u32,
     },
 }
 
@@ -121,6 +127,10 @@ pub struct Wpq {
     powered: bool,
     /// Event log for the persistency sanitizer; `None` (off) by default.
     events: Option<Vec<WpqEvent>>,
+    /// Origin mask stamped onto entries inserted from now on (one bit per
+    /// core; 0 = background). Set by the machine alongside the recorder
+    /// context so drained entries carry cross-core provenance.
+    origin: u32,
     /// Telemetry probe recording occupancy after every insert/drain;
     /// `None` (off) by default.
     probe: Option<QueueProbe>,
@@ -144,8 +154,17 @@ impl Wpq {
             stats: WpqStats::default(),
             powered: true,
             events: None,
+            origin: 0,
             probe: None,
         }
+    }
+
+    /// Sets the origin mask stamped onto subsequently inserted entries
+    /// (one bit per contributing core; 0 for background traffic).
+    /// Coalescing ORs the masks, so a drained entry names every core
+    /// whose write it carries.
+    pub fn set_origin(&mut self, mask: u32) {
+        self.origin = mask;
     }
 
     /// Installs a telemetry probe recording occupancy after every
@@ -261,9 +280,9 @@ impl Wpq {
             let e = &mut self.entries[i];
             if e.drain_done.is_none() {
                 Self::commit(e, now, nvm);
-                let addr = e.addr;
+                let (addr, origins) = (e.addr, e.origin_mask);
                 self.stats.drained += 1;
-                self.note_event(WpqEvent::Drained { addr });
+                self.note_event(WpqEvent::Drained { addr, origins });
             }
         }
     }
@@ -304,6 +323,7 @@ impl Wpq {
         {
             e.payload = payload;
             e.category = category;
+            e.origin_mask |= self.origin;
             self.stats.coalesced += 1;
             self.note_event(WpqEvent::Accepted {
                 addr,
@@ -326,9 +346,9 @@ impl Wpq {
                 let e = &mut self.entries[i];
                 if e.drain_done.is_none() {
                     Self::commit(e, now, nvm);
-                    let drained = e.addr;
+                    let (drained, origins) = (e.addr, e.origin_mask);
                     self.stats.drained += 1;
-                    self.note_event(WpqEvent::Drained { addr: drained });
+                    self.note_event(WpqEvent::Drained { addr: drained, origins });
                 }
             }
             let first_free = self
@@ -348,6 +368,7 @@ impl Wpq {
             payload,
             category,
             drain_done: None,
+            origin_mask: self.origin,
         });
         self.note_event(WpqEvent::Accepted {
             addr,
@@ -367,9 +388,9 @@ impl Wpq {
             let e = &mut self.entries[i];
             if e.drain_done.is_none() {
                 Self::commit(e, now, nvm);
-                let addr = e.addr;
+                let (addr, origins) = (e.addr, e.origin_mask);
                 self.stats.drained += 1;
-                self.note_event(WpqEvent::Drained { addr });
+                self.note_event(WpqEvent::Drained { addr, origins });
             }
             last = last.max(self.entries[i].drain_done.expect("just committed"));
         }
@@ -697,6 +718,26 @@ mod tests {
         assert_eq!(p.last(), 0, "drain_all empties the queue");
         assert_eq!(p.samples(), 13, "one per insert plus the final drain");
         assert!(q.take_probe().is_none());
+    }
+
+    #[test]
+    fn origin_masks_follow_coalesced_entries_to_the_drain() {
+        let mut m = nvm();
+        let mut q = Wpq::new(WpqConfig::with_capacity(64));
+        q.record_events(true);
+        q.set_origin(1 << 0);
+        q.insert(Cycle(0), 0x80, block(1), WriteCategory::Data, &mut m);
+        q.set_origin(1 << 1);
+        q.insert(Cycle(1), 0x80, block(2), WriteCategory::Data, &mut m); // coalesces
+        q.set_origin(0); // background traffic carries no origin
+        q.insert(Cycle(2), 0x100, None, WriteCategory::CounterBlock, &mut m);
+        q.drain_all(Cycle(3), &mut m);
+        let ev = q.take_events();
+        assert!(
+            ev.contains(&WpqEvent::Drained { addr: 0x80, origins: 0b11 }),
+            "coalesced entry names both contributing cores"
+        );
+        assert!(ev.contains(&WpqEvent::Drained { addr: 0x100, origins: 0 }));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! be driven by synthetic streams in tests.
 
 use crate::finding::{Finding, FindingClass};
+use crate::hb::HbEngine;
 use thoth_core::PubBlockCodec;
 use thoth_nvm::WriteCategory;
 use thoth_sim::{PersistEvent, PersistEventKind};
@@ -48,6 +49,9 @@ pub struct PsanStats {
     pub data_accepts: u64,
     /// WPQ drains.
     pub drains: u64,
+    /// Drained entries carrying writes from two or more cores (coalesced
+    /// cross-core traffic, from the origin provenance masks).
+    pub cross_core_drains: u64,
     /// Metadata-persist covers.
     pub meta_covers: u64,
     /// PUB block appends.
@@ -142,6 +146,8 @@ struct Checker<'a> {
     /// covers (events of one op are contiguous in the stream).
     group: (u32, u32),
     group_meta: FastSet<u64>,
+    /// The cross-core happens-before lattice (psan v2, layer 1).
+    hb: HbEngine,
 }
 
 impl<'a> Checker<'a> {
@@ -158,6 +164,7 @@ impl<'a> Checker<'a> {
             pub_blocks: FastMap::default(),
             group: (u32::MAX, u32::MAX),
             group_meta: FastSet::default(),
+            hb: HbEngine::new(classes.len()),
         }
     }
 
@@ -212,22 +219,30 @@ impl<'a> Checker<'a> {
             } => {
                 if *category == WriteCategory::Data {
                     self.report.stats.data_accepts += 1;
-                    self.on_data_accepted(e.core, e.op, *block);
                 }
+                self.on_accepted(e.core, e.op, *block, *category);
             }
-            PersistEventKind::Drained { .. } => {
+            PersistEventKind::Drained { block, origins } => {
                 self.report.stats.drains += 1;
+                if origins.count_ones() >= 2 {
+                    self.report.stats.cross_core_drains += 1;
+                }
+                self.hb.on_drained(*block);
             }
             PersistEventKind::MetaCover { block, mech: _ } => {
                 self.report.stats.meta_covers += 1;
                 self.group_meta.insert(*block);
+                self.hb
+                    .on_cover(e.core, e.op, *block, &mut self.report.findings);
             }
             PersistEventKind::Fence => {
                 self.report.stats.fences += 1;
+                self.hb.tick(e.core);
             }
             PersistEventKind::Commit => {
                 self.report.stats.commits += 1;
                 self.on_commit(e.core);
+                self.hb.tick(e.core);
             }
             PersistEventKind::PubAppend { addr, image } => {
                 self.report.stats.pub_appends += 1;
@@ -274,6 +289,12 @@ impl<'a> Checker<'a> {
             }
         }
         let blocks = self.blocks_of(addr, len);
+        for &b in &blocks {
+            // Acquire the block's publication clock: a store that follows
+            // a drain of the block is ordered after everything the drain
+            // published (the WPQ drain-order edge).
+            self.hb.acquire(core, b);
+        }
         let idx = self.open_tx[core as usize].len();
         for &b in &blocks {
             let slot = if relaxed {
@@ -313,20 +334,51 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn on_data_accepted(&mut self, core: u32, op: u32, block: u64) {
+    fn on_accepted(&mut self, core: u32, op: u32, block: u64, category: WriteCategory) {
         // A plain store to a relaxed-dirty line persists that line's
         // relaxed data too (the write goes through the secure pipeline
         // whole-block).
         let mut hit = self.waiting.remove(&block).unwrap_or_default();
-        if let Some(recs) = self.relaxed_dirty.remove(&block) {
-            hit.extend(recs);
+        let relaxed_hit = self.relaxed_dirty.remove(&block).unwrap_or_default();
+        // Fence elision: another core's store persisted this core's
+        // still-volatile relaxed data before the owner ever flushed or
+        // fenced — the owner's durability hangs on a racing core.
+        let stolen: Vec<(u32, u32, u64)> = relaxed_hit
+            .iter()
+            .filter(|&&(c, _)| c as u32 != core)
+            .map(|&(c, i)| {
+                let r = &self.open_tx[c][i];
+                (c as u32, r.op, r.addr)
+            })
+            .collect();
+        for (sc, sop, saddr) in stolen {
+            self.finding(
+                FindingClass::FenceElision,
+                sc,
+                sop,
+                saddr,
+                format!(
+                    "relaxed store's block {block:#x} was persisted by core {core} op {op} \
+                     before its owner fenced — durability depends on a racing core's persist"
+                ),
+            );
         }
+        hit.extend(relaxed_hit);
         if hit.is_empty() {
             return; // background traffic (re-encryption): not a program store
         }
+        // Cross-core happens-before check at the durable-ACK point: this
+        // attributed persist must be ordered against every in-flight
+        // persist of the block from another core.
+        let site_addr = hit
+            .iter()
+            .find(|&&(c, _)| c as u32 == core)
+            .map_or(block, |&(c, i)| self.open_tx[c][i].addr);
+        self.hb
+            .on_persist_accepted(core, op, site_addr, block, &mut self.report.findings);
         // Every data acceptance must be covered by a metadata persist in
         // the same operation — the counter/MAC update ordered with it.
-        if !self.group_meta.contains(&block) {
+        if category == WriteCategory::Data && !self.group_meta.contains(&block) {
             self.finding(
                 FindingClass::Ordering,
                 core,

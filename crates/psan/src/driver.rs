@@ -3,9 +3,10 @@
 
 use crate::checker::{check_events, PsanReport};
 use crate::finding::{Finding, FindingClass};
-use thoth_sim::{FunctionalMode, Mode, SecureNvm, SimConfig, SimReport};
+use thoth_sim::{FunctionalMode, Mode, SecureNvm, SimConfig, SimReport, NO_CTX};
 use thoth_workloads::{
-    spec, BugSite, MultiCoreTrace, OpClass, SeededBug, SeededVariant, WorkloadConfig, WorkloadKind,
+    corpus, spec, AnnotatedTrace, BugSite, MultiCoreTrace, OpClass, RaceAlignment, SeededBug,
+    SeededVariant, WorkloadConfig, WorkloadKind,
 };
 
 /// Block size every sanitizer run uses (the paper's emerging-NVM block).
@@ -30,7 +31,14 @@ pub struct PsanRun {
 /// bypasses the instrumented append path).
 #[must_use]
 pub fn sim_config() -> SimConfig {
-    let mut cfg = SimConfig::paper_default(Mode::thoth_wtsc(), BLOCK_BYTES);
+    sim_config_for(Mode::thoth_wtsc())
+}
+
+/// [`sim_config`] under an arbitrary metadata-persistence mode — the
+/// multi-mode clean sweep runs every workload under every mode.
+#[must_use]
+pub fn sim_config_for(mode: Mode) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode, BLOCK_BYTES);
     cfg.functional = FunctionalMode::Fast;
     cfg.pub_prefill = false;
     cfg.pub_size_bytes = 64 << 10;
@@ -47,7 +55,13 @@ pub fn workload_config(kind: WorkloadKind, scale: f64) -> WorkloadConfig {
 /// stream against the trace's per-op `classes`.
 #[must_use]
 pub fn analyze(trace: &MultiCoreTrace, classes: &[Vec<OpClass>]) -> PsanRun {
-    let mut machine = SecureNvm::new(sim_config());
+    analyze_under(trace, classes, sim_config())
+}
+
+/// [`analyze`] with an explicit simulator configuration.
+#[must_use]
+pub fn analyze_under(trace: &MultiCoreTrace, classes: &[Vec<OpClass>], cfg: SimConfig) -> PsanRun {
+    let mut machine = SecureNvm::new(cfg);
     let (sim, events) = machine.run_psan(trace);
     let report = check_events(&events, classes, BLOCK_BYTES as u64);
     PsanRun { sim, report }
@@ -60,10 +74,54 @@ pub fn analyze_clean(kind: WorkloadKind, scale: f64) -> PsanRun {
     analyze(&a.trace, &a.classes)
 }
 
+/// Generates and analyzes the unmodified `kind` workload at `scale`
+/// under `mode` — the clean sweep must be silent for every mechanism,
+/// not just Thoth/WTSC.
+#[must_use]
+pub fn analyze_clean_under(kind: WorkloadKind, scale: f64, mode: Mode) -> PsanRun {
+    let a = spec::generate_annotated(workload_config(kind, scale));
+    analyze_under(&a.trace, &a.classes, sim_config_for(mode))
+}
+
 /// Analyzes a seeded-bug variant.
 #[must_use]
 pub fn analyze_variant(v: &SeededVariant) -> PsanRun {
     analyze(&v.trace, &v.classes)
+}
+
+/// Builds the execution-order alignment table the cross-core corpus
+/// bugs need, from a pilot instrumented run of the clean trace: for
+/// each `(core, op)`, the sequence number of its first persist event
+/// (`u64::MAX` for ops that emitted none).
+#[must_use]
+pub fn alignment_for(trace: &MultiCoreTrace) -> RaceAlignment {
+    let mut machine = SecureNvm::new(sim_config());
+    let (_, events) = machine.run_psan(trace);
+    let mut first_seq: Vec<Vec<u64>> = trace
+        .cores
+        .iter()
+        .map(|ops| vec![u64::MAX; ops.len()])
+        .collect();
+    for e in &events {
+        if e.core == NO_CTX {
+            continue;
+        }
+        let (c, o) = (e.core as usize, e.op as usize);
+        if c < first_seq.len() && o < first_seq[c].len() && first_seq[c][o] == u64::MAX {
+            first_seq[c][o] = e.seq;
+        }
+    }
+    RaceAlignment { first_seq }
+}
+
+/// Seeds `bug` into `annotated`, running an alignment pilot first when
+/// the bug plants a racing op on a second core. Prefer this over
+/// [`thoth_workloads::corpus::seed_bug`] whenever the variant will be
+/// replayed through the simulator.
+#[must_use]
+pub fn seed_variant(annotated: &AnnotatedTrace, bug: SeededBug, seed: u64) -> Option<SeededVariant> {
+    let align = bug.is_cross_core().then(|| alignment_for(&annotated.trace));
+    corpus::seed_bug_with(annotated, bug, seed, BLOCK_BYTES as u64, align.as_ref())
 }
 
 /// The finding class each seeded bug must produce.
@@ -73,6 +131,9 @@ pub fn expected_class(bug: SeededBug) -> FindingClass {
         SeededBug::DroppedFlush => FindingClass::Durability,
         SeededBug::SwappedLogData => FindingClass::Ordering,
         SeededBug::DoubleFlush => FindingClass::RedundantFlush,
+        SeededBug::UnfencedCounter | SeededBug::SwappedDrainOrder => FindingClass::CrossCoreRace,
+        SeededBug::RelaxedSteal => FindingClass::FenceElision,
+        SeededBug::CoverOverlap => FindingClass::StaleCoverOverlap,
     }
 }
 

@@ -19,13 +19,28 @@ pub enum FindingClass {
     /// Performance smell: an undo-log append for a range an earlier log
     /// entry of the same transaction already guards.
     CoveredLogAppend,
+    /// Two persists of the same block from different cores with no
+    /// happens-before edge between them: the WPQ drain order (and hence
+    /// the recovered contents) is an unconstrained race.
+    CrossCoreRace,
+    /// A relaxed (unflushed) store's block was persisted by *another*
+    /// core's store before the owner fenced: the owner's durability
+    /// depends on a racing core's flush — a fence-elision race.
+    FenceElision,
+    /// A metadata-persist cover raised over a block while another core's
+    /// cover of the same block is still live and unordered: the stale
+    /// cover may publish metadata for contents it never guarded.
+    StaleCoverOverlap,
 }
 
 impl FindingClass {
     /// Every class, in severity order.
-    pub const ALL: [FindingClass; 5] = [
+    pub const ALL: [FindingClass; 8] = [
         FindingClass::Durability,
         FindingClass::Ordering,
+        FindingClass::CrossCoreRace,
+        FindingClass::FenceElision,
+        FindingClass::StaleCoverOverlap,
         FindingClass::RedundantFlush,
         FindingClass::CoveredPubAppend,
         FindingClass::CoveredLogAppend,
@@ -40,6 +55,9 @@ impl FindingClass {
             FindingClass::RedundantFlush => "redundant-flush",
             FindingClass::CoveredPubAppend => "covered-pub-append",
             FindingClass::CoveredLogAppend => "covered-log-append",
+            FindingClass::CrossCoreRace => "cross-core-race",
+            FindingClass::FenceElision => "fence-elision",
+            FindingClass::StaleCoverOverlap => "stale-cover-overlap",
         }
     }
 
@@ -100,6 +118,9 @@ mod tests {
         }
         assert!(!FindingClass::Durability.is_smell());
         assert!(!FindingClass::Ordering.is_smell());
+        assert!(!FindingClass::CrossCoreRace.is_smell());
+        assert!(!FindingClass::FenceElision.is_smell());
+        assert!(!FindingClass::StaleCoverOverlap.is_smell());
         assert!(FindingClass::RedundantFlush.is_smell());
     }
 

@@ -1,0 +1,440 @@
+//! Vector-clock happens-before engine: the cross-core ordering lattice.
+//!
+//! Layer 1 of psan v2. Each core carries a vector clock whose own
+//! component counts fence/commit epochs. Cross-core edges arise only
+//! through the write-pending queue: when a block drains to NVM it
+//! *publishes* the join of the clocks its in-flight persists were issued
+//! under, and any later touch of the block (store issue, WPQ acceptance,
+//! metadata cover) *acquires* that publication clock. Two persists of
+//! one block whose clocks compare [`ClockOrd::Concurrent`] have no
+//! persist-before edge between them — the WPQ drain order, and hence the
+//! contents recovery will see, is an unconstrained race.
+//!
+//! The per-core checks of [`crate::checker`] are the degenerate case of
+//! this lattice: within one core every event is totally ordered by its
+//! own epoch component, so the checker's program-order bookkeeping never
+//! consults the clocks. The engine only speaks up where two cores meet.
+
+use crate::finding::{Finding, FindingClass};
+use thoth_sim_engine::{FastMap, FastSet};
+
+/// Result of comparing two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockOrd {
+    /// Every component ≤, at least one <: happens-before.
+    Before,
+    /// Every component ≥, at least one >: happens-after.
+    After,
+    /// Identical clocks.
+    Equal,
+    /// Components disagree in both directions: no ordering edge.
+    Concurrent,
+}
+
+/// A fixed-width vector clock, one component per core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VClock {
+    t: Vec<u32>,
+}
+
+impl VClock {
+    /// The bottom clock (all components zero).
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        VClock { t: vec![0; cores] }
+    }
+
+    /// The clock a core starts with: its own epoch is already 1, so two
+    /// cores that never synchronized compare `Concurrent`, not `Equal`.
+    #[must_use]
+    pub fn origin(cores: usize, core: usize) -> Self {
+        let mut c = Self::new(cores);
+        c.t[core] = 1;
+        c
+    }
+
+    /// Advance `core`'s epoch (a fence or commit on that core).
+    pub fn tick(&mut self, core: usize) {
+        self.t[core] += 1;
+    }
+
+    /// The epoch component of `core`.
+    #[must_use]
+    pub fn get(&self, core: usize) -> u32 {
+        self.t.get(core).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum: the least upper bound of the two clocks.
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.t.iter_mut().zip(&other.t) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Compare under the pointwise partial order.
+    #[must_use]
+    pub fn compare(&self, other: &VClock) -> ClockOrd {
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.t.iter().zip(&other.t) {
+            if a < b {
+                less = true;
+            }
+            if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => ClockOrd::Equal,
+            (true, false) => ClockOrd::Before,
+            (false, true) => ClockOrd::After,
+            (true, true) => ClockOrd::Concurrent,
+        }
+    }
+}
+
+/// One persist (or cover) site with the clock it was issued under.
+#[derive(Debug, Clone)]
+struct PersistSite {
+    core: u32,
+    op: u32,
+    addr: u64,
+    clock: VClock,
+}
+
+/// Race pair identity: `(block, lower site, higher site)`.
+type RaceKey = (u64, u32, u32, u32, u32);
+
+/// The happens-before state over one event stream.
+pub struct HbEngine {
+    cores: usize,
+    clocks: Vec<VClock>,
+    /// Block → publication clock: join of every drained persist's clock.
+    pub_clock: FastMap<u64, VClock>,
+    /// Block → accepted-but-undrained persists (the race window).
+    inflight: FastMap<u64, Vec<PersistSite>>,
+    /// Block → metadata covers raised over an undrained block.
+    covers: FastMap<u64, Vec<PersistSite>>,
+    /// Cross-core-race pairs already reported.
+    reported_race: FastSet<RaceKey>,
+    /// Stale-cover pairs already reported.
+    reported_cover: FastSet<RaceKey>,
+}
+
+impl HbEngine {
+    /// An engine for a stream recorded from `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        let n = cores.max(1);
+        HbEngine {
+            cores: n,
+            clocks: (0..n).map(|c| VClock::origin(n, c)).collect(),
+            pub_clock: FastMap::default(),
+            inflight: FastMap::default(),
+            covers: FastMap::default(),
+            reported_race: FastSet::default(),
+            reported_cover: FastSet::default(),
+        }
+    }
+
+    fn in_range(&self, core: u32) -> bool {
+        (core as usize) < self.cores
+    }
+
+    /// The current clock of `core` (None for background contexts).
+    #[must_use]
+    pub fn clock(&self, core: u32) -> Option<&VClock> {
+        self.clocks.get(core as usize)
+    }
+
+    /// A fence or commit on `core`: the core enters a new epoch.
+    pub fn tick(&mut self, core: u32) {
+        if self.in_range(core) {
+            let c = core as usize;
+            self.clocks[c].tick(c);
+        }
+    }
+
+    /// A store, acceptance, or cover of `block`: acquire the block's
+    /// publication clock (the WPQ-drain-order edge).
+    pub fn acquire(&mut self, core: u32, block: u64) {
+        if !self.in_range(core) {
+            return;
+        }
+        if let Some(p) = self.pub_clock.get(&block) {
+            self.clocks[core as usize].join(p);
+        }
+    }
+
+    fn race_key(block: u64, a: (u32, u32), b: (u32, u32)) -> RaceKey {
+        if a <= b {
+            (block, a.0, a.1, b.0, b.1)
+        } else {
+            (block, b.0, b.1, a.0, a.1)
+        }
+    }
+
+    /// An attributed persist of `block` was accepted by the WPQ.
+    ///
+    /// Race-checks it against every in-flight persist of the block from
+    /// another core (reporting `CrossCoreRace` at both endpoints), then
+    /// joins the in-flight set. `addr` is the store address the persist
+    /// is attributed to (the finding site).
+    pub fn on_persist_accepted(
+        &mut self,
+        core: u32,
+        op: u32,
+        addr: u64,
+        block: u64,
+        out: &mut Vec<Finding>,
+    ) {
+        if !self.in_range(core) {
+            return;
+        }
+        self.acquire(core, block);
+        let clock = self.clocks[core as usize].clone();
+        if let Some(sites) = self.inflight.get(&block) {
+            let conflicts: Vec<PersistSite> = sites
+                .iter()
+                .filter(|s| s.core != core && clock.compare(&s.clock) == ClockOrd::Concurrent)
+                .cloned()
+                .collect();
+            for s in conflicts {
+                let key = Self::race_key(block, (s.core, s.op), (core, op));
+                if self.reported_race.contains(&key) {
+                    continue;
+                }
+                self.reported_race.insert(key);
+                out.push(Finding {
+                    class: FindingClass::CrossCoreRace,
+                    core: s.core,
+                    op: s.op,
+                    addr: s.addr,
+                    detail: format!(
+                        "persist of block {block:#x} races with core {core} op {op}: \
+                         no happens-before edge orders the two persists"
+                    ),
+                });
+                out.push(Finding {
+                    class: FindingClass::CrossCoreRace,
+                    core,
+                    op,
+                    addr,
+                    detail: format!(
+                        "persist of block {block:#x} races with core {} op {}: \
+                         the WPQ drain order decides the recovered contents",
+                        s.core, s.op
+                    ),
+                });
+            }
+        }
+        self.inflight.entry(block).or_default().push(PersistSite {
+            core,
+            op,
+            addr,
+            clock,
+        });
+    }
+
+    /// A metadata-persist cover was raised over `block`.
+    ///
+    /// Flags `StaleCoverOverlap` against every live cover of the block
+    /// from another core with no ordering edge, then records this cover.
+    pub fn on_cover(&mut self, core: u32, op: u32, block: u64, out: &mut Vec<Finding>) {
+        if !self.in_range(core) {
+            return;
+        }
+        self.acquire(core, block);
+        let clock = self.clocks[core as usize].clone();
+        if let Some(sites) = self.covers.get(&block) {
+            let conflicts: Vec<PersistSite> = sites
+                .iter()
+                .filter(|s| s.core != core && clock.compare(&s.clock) == ClockOrd::Concurrent)
+                .cloned()
+                .collect();
+            for s in conflicts {
+                let key = Self::race_key(block, (s.core, s.op), (core, op));
+                if self.reported_cover.contains(&key) {
+                    continue;
+                }
+                self.reported_cover.insert(key);
+                out.push(Finding {
+                    class: FindingClass::StaleCoverOverlap,
+                    core: s.core,
+                    op: s.op,
+                    addr: s.addr,
+                    detail: format!(
+                        "metadata cover of block {block:#x} is still live while core {core} \
+                         op {op} raises an unordered cover over the same block"
+                    ),
+                });
+                out.push(Finding {
+                    class: FindingClass::StaleCoverOverlap,
+                    core,
+                    op,
+                    addr: block,
+                    detail: format!(
+                        "metadata cover of block {block:#x} overlaps a live unordered cover \
+                         from core {} op {}",
+                        s.core, s.op
+                    ),
+                });
+            }
+        }
+        self.covers.entry(block).or_default().push(PersistSite {
+            core,
+            op,
+            addr: block,
+            clock,
+        });
+    }
+
+    /// `block` drained to NVM: publish the join of its in-flight clocks
+    /// and retire the in-flight persists and live covers it carried.
+    pub fn on_drained(&mut self, block: u64) {
+        if let Some(sites) = self.inflight.remove(&block) {
+            let pc = self
+                .pub_clock
+                .entry(block)
+                .or_insert_with(|| VClock::new(self.cores));
+            for s in &sites {
+                pc.join(&s.clock);
+            }
+        }
+        self.covers.remove(&block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(t: &[u32]) -> VClock {
+        VClock {
+            t: t.to_vec(),
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent_commutative_associative() {
+        let a = clock(&[3, 0, 5]);
+        let b = clock(&[1, 4, 2]);
+        let c = clock(&[0, 7, 7]);
+        let mut aa = a.clone();
+        aa.join(&a);
+        assert_eq!(aa, a, "idempotent");
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba, "commutative");
+        let mut ab_c = ab.clone();
+        ab_c.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut a_bc = a.clone();
+        a_bc.join(&bc);
+        assert_eq!(ab_c, a_bc, "associative");
+    }
+
+    #[test]
+    fn compare_orders_the_lattice() {
+        let a = clock(&[1, 2]);
+        let b = clock(&[1, 3]);
+        let c = clock(&[2, 1]);
+        assert_eq!(a.compare(&a), ClockOrd::Equal);
+        assert_eq!(a.compare(&b), ClockOrd::Before);
+        assert_eq!(b.compare(&a), ClockOrd::After);
+        assert_eq!(b.compare(&c), ClockOrd::Concurrent);
+        assert_eq!(c.compare(&b), ClockOrd::Concurrent);
+        // The join is an upper bound of both operands.
+        let mut j = b.clone();
+        j.join(&c);
+        assert!(matches!(b.compare(&j), ClockOrd::Before | ClockOrd::Equal));
+        assert!(matches!(c.compare(&j), ClockOrd::Before | ClockOrd::Equal));
+    }
+
+    #[test]
+    fn fence_epochs_are_monotone() {
+        let mut hb = HbEngine::new(2);
+        let mut prev = hb.clock(0).unwrap().clone();
+        for _ in 0..5 {
+            hb.tick(0); // fence on core 0
+            let cur = hb.clock(0).unwrap().clone();
+            assert_eq!(prev.compare(&cur), ClockOrd::Before, "epoch strictly grows");
+            prev = cur;
+        }
+        // A fence on core 0 never moves core 1's clock.
+        assert_eq!(hb.clock(1).unwrap().get(0), 0);
+    }
+
+    #[test]
+    fn unsynchronized_cores_are_concurrent() {
+        let hb = HbEngine::new(2);
+        let a = hb.clock(0).unwrap();
+        let b = hb.clock(1).unwrap();
+        assert_eq!(a.compare(b), ClockOrd::Concurrent);
+    }
+
+    #[test]
+    fn unordered_persists_race_at_both_endpoints() {
+        let mut hb = HbEngine::new(2);
+        let mut out = Vec::new();
+        hb.on_persist_accepted(0, 3, 0x1000, 0x1000, &mut out);
+        assert!(out.is_empty());
+        hb.on_persist_accepted(1, 7, 0x1008, 0x1000, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.class == FindingClass::CrossCoreRace));
+        assert!(out.iter().any(|f| f.core == 0 && f.op == 3 && f.addr == 0x1000));
+        assert!(out.iter().any(|f| f.core == 1 && f.op == 7 && f.addr == 0x1008));
+    }
+
+    #[test]
+    fn drain_publishes_order_and_suppresses_the_race() {
+        let mut hb = HbEngine::new(2);
+        let mut out = Vec::new();
+        hb.on_persist_accepted(0, 3, 0x1000, 0x1000, &mut out);
+        hb.on_drained(0x1000); // WPQ drains core 0's persist: published
+        hb.on_persist_accepted(1, 7, 0x1008, 0x1000, &mut out);
+        assert!(out.is_empty(), "drain order is a happens-before edge");
+        // And the edge is transitive: core 1 is now ordered after core 0.
+        let a = hb.clock(0).unwrap().clone();
+        let b = hb.clock(1).unwrap();
+        assert_eq!(a.compare(b), ClockOrd::Before);
+    }
+
+    #[test]
+    fn same_core_persists_never_race() {
+        let mut hb = HbEngine::new(2);
+        let mut out = Vec::new();
+        hb.on_persist_accepted(0, 3, 0x1000, 0x1000, &mut out);
+        hb.on_persist_accepted(0, 4, 0x1008, 0x1000, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn race_pairs_are_reported_once() {
+        let mut hb = HbEngine::new(2);
+        let mut out = Vec::new();
+        hb.on_persist_accepted(0, 3, 0x1000, 0x1000, &mut out);
+        hb.on_persist_accepted(1, 7, 0x1008, 0x1000, &mut out);
+        hb.on_persist_accepted(1, 7, 0x1008, 0x1000, &mut out);
+        assert_eq!(out.len(), 2, "duplicate pair suppressed");
+    }
+
+    #[test]
+    fn overlapping_covers_report_stale_cover() {
+        let mut hb = HbEngine::new(2);
+        let mut out = Vec::new();
+        hb.on_cover(0, 3, 0x2000, &mut out);
+        assert!(out.is_empty());
+        hb.on_cover(1, 9, 0x2000, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.class == FindingClass::StaleCoverOverlap));
+        // Draining the block retires the covers: a later cover is clean.
+        out.clear();
+        hb.on_drained(0x2000);
+        hb.on_cover(0, 11, 0x2000, &mut out);
+        assert!(out.is_empty());
+    }
+}

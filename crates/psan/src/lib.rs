@@ -23,6 +23,15 @@
 //!    performance smells (redundant flushes, covered undo-log appends,
 //!    covered PUB appends).
 //!
+//! Since psan v2 the checker also carries a vector-clock happens-before
+//! engine ([`hb`]): per-core epochs advance at fence/commit, cross-core
+//! edges arise from WPQ drain order (publication clocks per block), and
+//! persists of one block from two cores with no edge between them are
+//! reported as [`FindingClass::CrossCoreRace`] — with
+//! [`FindingClass::FenceElision`] and [`FindingClass::StaleCoverOverlap`]
+//! for the flush-steal and overlapping-cover shapes. The per-core checks
+//! are the degenerate (totally ordered) case of the same lattice.
+//!
 //! The seeded-bug corpus in `thoth_workloads::corpus` provides ground
 //! truth: every planted bug must be caught at its planted site
 //! ([`driver::detection`]), and the unmodified workloads must check
@@ -33,13 +42,16 @@
 pub mod checker;
 pub mod driver;
 pub mod finding;
+pub mod hb;
 
 pub use checker::{check_events, PsanReport, PsanStats};
 pub use driver::{
-    analyze, analyze_clean, analyze_variant, detection, expected_class, finding_matches_site,
-    sim_config, workload_config, PsanRun, BLOCK_BYTES, DEFAULT_SCALE,
+    alignment_for, analyze, analyze_clean, analyze_clean_under, analyze_under, analyze_variant,
+    detection, expected_class, finding_matches_site, seed_variant, sim_config, sim_config_for,
+    workload_config, PsanRun, BLOCK_BYTES, DEFAULT_SCALE,
 };
 pub use finding::{Finding, FindingClass};
+pub use hb::{ClockOrd, HbEngine, VClock};
 
 #[cfg(test)]
 mod tests {
@@ -98,6 +110,10 @@ mod tests {
 
     fn flush(block: u64, pending: bool) -> PersistEventKind {
         PersistEventKind::Flush { block, pending }
+    }
+
+    fn drained(block: u64, origins: u32) -> PersistEventKind {
+        PersistEventKind::Drained { block, origins }
     }
 
     /// A persisted store of `classes[op]` at `addr`: store, meta cover,
@@ -312,5 +328,119 @@ mod tests {
         ];
         let r = check_events(&stream(evs), &classes, BB);
         assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn unordered_cross_core_persists_are_a_race_at_both_endpoints() {
+        // Two cores persist the same block with no drain (publication)
+        // between them: the WPQ drain order is an unconstrained race.
+        let classes = vec![vec![OpClass::DataFresh], vec![OpClass::DataFresh]];
+        let mut evs = persisted(0, 0, 0x8000);
+        evs.extend(persisted(1, 0, 0x8008));
+        let r = check_events(&stream(evs), &classes, BB);
+        assert_eq!(r.count(FindingClass::CrossCoreRace), 2, "{:?}", r.findings);
+        let races: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.class == FindingClass::CrossCoreRace)
+            .collect();
+        assert!(races.iter().any(|f| (f.core, f.op, f.addr) == (0, 0, 0x8000)));
+        assert!(races.iter().any(|f| (f.core, f.op, f.addr) == (1, 0, 0x8008)));
+        assert!(r.has_errors(), "a cross-core race is a correctness error");
+    }
+
+    #[test]
+    fn drain_publication_orders_cross_core_persists() {
+        // Core 1 persists the block only after the WPQ drained core 0's
+        // write: the drain publishes the order, so there is no race.
+        let classes = vec![vec![OpClass::DataFresh], vec![OpClass::DataFresh]];
+        let mut evs = persisted(0, 0, 0x8000);
+        evs.push((0, 0, drained(0x8000, 0b01)));
+        evs.extend(persisted(1, 0, 0x8008));
+        let r = check_events(&stream(evs), &classes, BB);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.stats.drains, 1);
+    }
+
+    #[test]
+    fn uncovered_counter_block_persists_race_cross_core() {
+        // Two cores write the same counter block with no mechanism cover
+        // and no ordering edge — the metadata-block form of the race.
+        let cb = 0x20_0000;
+        let meta_accept = |block: u64| PersistEventKind::Accepted {
+            block,
+            category: WriteCategory::CounterBlock,
+            coalesced: false,
+        };
+        let classes = vec![vec![OpClass::DataFresh], vec![OpClass::DataFresh]];
+        let evs = vec![
+            (0, 0, store(cb, 8)),
+            (0, 0, meta_accept(cb)),
+            (1, 0, store(cb + 8, 8)),
+            (1, 0, meta_accept(cb)),
+        ];
+        let r = check_events(&stream(evs), &classes, BB);
+        assert_eq!(r.count(FindingClass::CrossCoreRace), 2, "{:?}", r.findings);
+        assert_eq!(
+            r.count(FindingClass::Ordering),
+            0,
+            "the data-cover rule does not apply to metadata acceptances"
+        );
+    }
+
+    #[test]
+    fn cross_core_flush_steal_is_fence_elision() {
+        // Core 0 leaves a relaxed store volatile; core 1's plain store to
+        // the same block persists core 0's data before it ever fenced.
+        let classes = vec![vec![OpClass::DataFresh], vec![OpClass::DataFresh]];
+        let mut evs = vec![(0, 0, relaxed(0xa008, 8))];
+        evs.extend(persisted(1, 0, 0xa000));
+        let r = check_events(&stream(evs), &classes, BB);
+        assert_eq!(r.count(FindingClass::FenceElision), 1, "{:?}", r.findings);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.class == FindingClass::FenceElision)
+            .expect("just counted");
+        assert_eq!(
+            (f.core, f.op, f.addr),
+            (0, 0, 0xa008),
+            "the finding sits at the relaxed store whose fence was elided"
+        );
+    }
+
+    #[test]
+    fn overlapping_unordered_covers_are_stale() {
+        // Both cores raise a metadata cover over the same undrained block
+        // with no ordering edge between the covers.
+        let classes = vec![vec![OpClass::DataFresh], vec![OpClass::DataFresh]];
+        let mut evs = persisted(0, 0, 0xb000);
+        evs.extend(persisted(1, 0, 0xb008));
+        let r = check_events(&stream(evs), &classes, BB);
+        assert_eq!(
+            r.count(FindingClass::StaleCoverOverlap),
+            2,
+            "{:?}",
+            r.findings
+        );
+        // Draining the block retires the covers: repeating the pattern
+        // after a drain is clean.
+        let mut evs2 = persisted(0, 0, 0xb000);
+        evs2.push((0, 0, drained(0xb000, 0b01)));
+        evs2.extend(persisted(1, 0, 0xb008));
+        let r2 = check_events(&stream(evs2), &classes, BB);
+        assert_eq!(r2.count(FindingClass::StaleCoverOverlap), 0);
+    }
+
+    #[test]
+    fn cross_core_drain_provenance_is_counted() {
+        let classes = vec![vec![OpClass::DataFresh], vec![OpClass::DataFresh]];
+        let evs = vec![
+            (0, 0, drained(0x8000, 0b11)),
+            (0, 0, drained(0x8080, 0b01)),
+        ];
+        let r = check_events(&stream(evs), &classes, BB);
+        assert_eq!(r.stats.drains, 2);
+        assert_eq!(r.stats.cross_core_drains, 1);
     }
 }

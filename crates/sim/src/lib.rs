@@ -43,6 +43,9 @@ pub use report::{RecoveryReport, SimReport};
 pub use service::{ServiceReport, ServiceSession};
 pub use telemetry::MachineTelemetry;
 pub use thoth_telemetry::{TelemetryConfig, TelemetryReport};
+// Acceptance events embed the NVM write category; re-export it so event
+// consumers need no direct thoth-nvm dependency.
+pub use thoth_nvm::WriteCategory;
 
 use thoth_workloads::MultiCoreTrace;
 

@@ -738,12 +738,54 @@ impl SecureNvm {
         }
         self.pump_wpq_events();
         self.wpq.record_events(false);
+        self.wpq.set_origin(0);
         let events = self
             .psan
             .take()
             .expect("recorder installed above")
             .into_events();
         (report, events)
+    }
+
+    /// [`Self::run_to_crash`] with persist-event instrumentation: replays
+    /// the trace until the planned crash point fires (logging durably-ACKed
+    /// ops for the oracle) while recording the persist-event stream up to
+    /// the crash. Returns whether the crash fired plus the pre-crash
+    /// events — the fuzzer's psan observer analyzes exactly what the
+    /// machine saw before power was lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside [`FunctionalMode::Full`] — auditing needs real bytes.
+    pub fn run_psan_to_crash(
+        &mut self,
+        trace: &MultiCoreTrace,
+        plan: CrashPlan,
+    ) -> (bool, Vec<PersistEvent>) {
+        assert!(
+            self.config.functional == FunctionalMode::Full,
+            "crash testing requires FunctionalMode::Full"
+        );
+        self.wpq.record_events(true);
+        self.psan = Some(PsanRecorder::new());
+        self.crash_ctl = Some(CrashControl::armed(plan));
+        self.op_log = Some(Vec::new());
+        let mut cores = Self::fresh_cores(trace);
+        self.replay(trace, &mut cores, None);
+        let fired = self.crash_ctl.as_ref().is_some_and(CrashControl::fired);
+        // Events buffered by the op that crashed (or the trace tail).
+        if let Some(p) = self.psan.as_mut() {
+            p.set_ctx(NO_CTX, NO_CTX);
+        }
+        self.pump_wpq_events();
+        self.wpq.record_events(false);
+        self.wpq.set_origin(0);
+        let events = self
+            .psan
+            .take()
+            .expect("recorder installed above")
+            .into_events();
+        (fired, events)
     }
 
     /// Runs `trace` with the observability layer enabled per `tcfg`,
@@ -917,6 +959,11 @@ impl SecureNvm {
             if let Some(p) = self.psan.as_mut() {
                 p.set_ctx(ci as u32, (cores[ci].idx - 1) as u32);
             }
+            if self.psan.is_some() {
+                // Stamp WPQ entries inserted by this op with the issuing
+                // core, so drain events carry cross-core provenance.
+                self.wpq.set_origin(1u32 << (ci as u32 & 31));
+            }
             match op {
                 TraceOp::Read { addr, len } => {
                     let mut lat = 0;
@@ -1072,8 +1119,8 @@ impl SecureNvm {
                         category,
                         coalesced,
                     }),
-                    WpqEvent::Drained { addr } => {
-                        p.emit(PersistEventKind::Drained { block: addr });
+                    WpqEvent::Drained { addr, origins } => {
+                        p.emit(PersistEventKind::Drained { block: addr, origins });
                     }
                 }
             }
@@ -1084,7 +1131,7 @@ impl SecureNvm {
                     WpqEvent::Accepted {
                         addr, coalesced, ..
                     } => tm.record_wpq_accept(addr, coalesced),
-                    WpqEvent::Drained { addr } => tm.record_wpq_drain(addr),
+                    WpqEvent::Drained { addr, .. } => tm.record_wpq_drain(addr),
                 }
             }
         }

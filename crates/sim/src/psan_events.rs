@@ -77,6 +77,10 @@ pub enum PersistEventKind {
     Drained {
         /// Block-aligned address drained.
         block: u64,
+        /// Cross-core provenance: one bit per core whose write the
+        /// drained entry carries (coalescing ORs the masks); 0 for pure
+        /// background traffic such as re-encryption.
+        origins: u32,
     },
     /// The security metadata guarding a data persist got its own
     /// durable-ordering edge, via `mech`.

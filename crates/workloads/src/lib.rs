@@ -26,6 +26,7 @@
 pub mod btree;
 pub mod corpus;
 pub mod ctree;
+pub mod fuzz;
 pub mod hashmap;
 pub mod heap;
 pub mod queue;
@@ -36,11 +37,12 @@ pub mod spec;
 pub mod swap;
 pub mod trace_io;
 
-pub use corpus::{BugSite, SeededBug, SeededVariant};
+pub use corpus::{BugSite, RaceAlignment, SeededBug, SeededVariant};
+pub use fuzz::{generate_fuzz, FuzzSpec};
 pub use heap::PersistentHeap;
 pub use runtime::{AnnotatedTrace, CoreTrace, MultiCoreTrace, OpClass, TraceOp, TxRuntime};
 pub use service::{
-    generate_service, MixKind, ReqKind, RequestMeta, ServiceSpec, ServiceTrace,
+    generate_service, MixKind, MixStats, ReqKind, RequestMeta, ServiceSpec, ServiceTrace,
 };
 pub use spec::{WorkloadConfig, WorkloadKind};
 

@@ -370,11 +370,51 @@ pub struct ServiceTrace {
     pub tenants: usize,
 }
 
+/// Aggregate request-kind counts of a [`ServiceTrace`] — the "real mix"
+/// summary that seeds the persist-trace fuzzer's address-overlap bias
+/// (see [`crate::fuzz::FuzzSpec::biased`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixStats {
+    /// Point lookups.
+    pub reads: u64,
+    /// Blind updates.
+    pub updates: u64,
+    /// Read-modify-writes.
+    pub rmws: u64,
+}
+
+impl MixStats {
+    /// Mutating requests (updates + RMWs) per thousand requests.
+    #[must_use]
+    pub fn mutate_per_mille(&self) -> u32 {
+        let total = self.reads + self.updates + self.rmws;
+        if total == 0 {
+            return 0;
+        }
+        (1000 * (self.updates + self.rmws) / total) as u32
+    }
+}
+
 impl ServiceTrace {
     /// Total requests across all cores (warm-up included).
     #[must_use]
     pub fn total_requests(&self) -> usize {
         self.requests.iter().map(Vec::len).sum()
+    }
+
+    /// Counts request kinds across all cores (warm-up included — the mix
+    /// generator draws identically in both phases).
+    #[must_use]
+    pub fn mix_stats(&self) -> MixStats {
+        let mut s = MixStats::default();
+        for r in self.requests.iter().flatten() {
+            match r.kind {
+                ReqKind::Read => s.reads += 1,
+                ReqKind::Update => s.updates += 1,
+                ReqKind::Rmw => s.rmws += 1,
+            }
+        }
+        s
     }
 
     /// Measured (non-warm-up) requests across all cores.
