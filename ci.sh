@@ -19,6 +19,12 @@ cargo clippy --all-targets --locked -- -D warnings
 echo "== thoth-lint (repo invariants) =="
 cargo run -q --release --locked -p thoth-lint
 
+echo "== mode parity (trait refactor must not move the golden quick matrix) =="
+cargo test -q --locked -p thoth-sim --test mode_parity
+
+echo "== ablation smoke (incl. six-mechanism comparison table) =="
+cargo run -q --release --locked -p thoth-experiments -- ablation --quick
+
 echo "== crashtest smoke (sampled crash points, all workloads) =="
 cargo run -q --release --locked -p thoth-experiments -- crashtest --quick
 

@@ -40,6 +40,10 @@ pub struct SweepConfig {
     /// Fault model applied at each injected crash. Default = disabled:
     /// the sweep must then recover every point cleanly.
     pub faults: FaultConfig,
+    /// Metadata-persistence mechanism the swept machine runs. Default:
+    /// Thoth/WTSC, the historical sweep target; recovery audits must
+    /// also pass under every other mechanism's recovery procedure.
+    pub mode: Mode,
 }
 
 impl Default for SweepConfig {
@@ -50,6 +54,7 @@ impl Default for SweepConfig {
             samples_per_workload: 8,
             tx_size: 128,
             faults: FaultConfig::default(),
+            mode: Mode::thoth_wtsc(),
         }
     }
 }
@@ -64,13 +69,19 @@ impl SweepConfig {
         }
     }
 
+    /// This configuration retargeted at `mode`.
+    #[must_use]
+    pub fn with_mode(self, mode: Mode) -> Self {
+        SweepConfig { mode, ..self }
+    }
+
     /// The simulator configuration crash sweeps run under: full functional
     /// mode (real ciphertext/MAC/tree state), no PUB prefill, and a small
     /// PUB with a low eviction threshold so tiny traces still exercise the
     /// mid-eviction (`meta-persist`) crash window.
     #[must_use]
     pub fn sim_config(&self) -> SimConfig {
-        let mut cfg = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+        let mut cfg = SimConfig::paper_default(self.mode, 128);
         cfg.functional = FunctionalMode::Full;
         cfg.pub_prefill = false;
         cfg.pub_size_bytes = 8 << 10;
@@ -425,5 +436,44 @@ mod tests {
     #[test]
     fn oracle_selftest_catches_torn_counter_writes() {
         oracle_selftest(&SweepConfig::quick()).expect("oracle selftest");
+    }
+
+    #[test]
+    fn clean_sweeps_pass_under_every_extension_mechanism() {
+        // Phoenix reconstructs the MAC region at recovery; the Freij
+        // variants persist strictly and recover trivially. All three
+        // must audit clean at every sampled crash point, like the
+        // default Thoth sweep.
+        for mode in [Mode::phoenix(), Mode::freij_strict(), Mode::freij_lazy()] {
+            let cfg = SweepConfig::quick().with_mode(mode);
+            let r = sweep_workload(WorkloadKind::Swap, &cfg);
+            assert!(
+                r.all_passed(),
+                "{} sweep failed: {:?}",
+                mode.label(),
+                r.minimized
+            );
+            assert!(!r.cases.is_empty());
+            assert!(r.cases.iter().all(|c| c.fired));
+        }
+    }
+
+    #[test]
+    fn phoenix_oracle_selftest_catches_torn_counter_node() {
+        // The decisive Phoenix case: its recovery rebuilds first-level
+        // MACs from the persisted counters, so a torn counter-node
+        // write after recovery must still fail authentication against
+        // the reconstructed MAC region (and show in leaf diagnostics) —
+        // the reconstruction must not launder tampered counters.
+        oracle_selftest(&SweepConfig::quick().with_mode(Mode::phoenix()))
+            .expect("phoenix oracle selftest");
+    }
+
+    #[test]
+    fn freij_oracle_selftest_catches_torn_counter_node() {
+        for mode in [Mode::freij_strict(), Mode::freij_lazy()] {
+            oracle_selftest(&SweepConfig::quick().with_mode(mode))
+                .unwrap_or_else(|e| panic!("{} oracle selftest: {e}", mode.label()));
+        }
     }
 }

@@ -145,6 +145,42 @@ pub fn eadr_compare(cache: &mut TraceCache) -> Table {
     table
 }
 
+/// Metadata-persistence mechanism comparison: every mechanism the
+/// machine implements — eager Thoth/WTSC, Anubis-style ECC shadowing,
+/// Phoenix (strict counters, MACs rebuilt at recovery), and the Freij
+/// strict/lazy streamlined-tree variants — over the paper's workloads,
+/// against the same no-security baseline. eADR bounds the table from
+/// above (every persist free).
+#[must_use]
+pub fn mechanism_compare(cache: &mut TraceCache) -> Table {
+    let mut table = Table::new(
+        "Ablation: metadata-persistence mechanisms (128 B blocks)",
+        &["workload", "mode", "speedup vs baseline", "writes vs baseline"],
+    );
+    let modes = [
+        Mode::thoth_wtsc(),
+        Mode::AnubisEcc,
+        Mode::eadr(),
+        Mode::phoenix(),
+        Mode::freij_strict(),
+        Mode::freij_lazy(),
+    ];
+    for kind in WorkloadKind::ALL {
+        let trace = cache.get(kind, 128);
+        let base = simulate(&sim_config(Mode::baseline(), 128), &trace);
+        for mode in modes {
+            let r = simulate(&sim_config(mode, 128), &trace);
+            table.row(vec![
+                kind.name().to_owned(),
+                mode.label().to_owned(),
+                format!("{:.3}", r.speedup_over(&base)),
+                format!("{:.3}", r.write_ratio_vs(&base)),
+            ]);
+        }
+    }
+    table
+}
+
 /// Operation-mix sweep: how delete-heavy transaction mixes (an extension
 /// beyond the paper's insert/update workloads) move Thoth's advantage.
 #[must_use]
@@ -201,6 +237,7 @@ pub fn run(settings: ExpSettings) -> Vec<Table> {
         pcb_size_sweep(&mut cache),
         arrangement_compare(&mut cache),
         eadr_compare(&mut cache),
+        mechanism_compare(&mut cache),
         ops_mix_sweep(settings),
         extension_workloads(&mut cache),
     ]
@@ -213,10 +250,15 @@ mod tests {
     #[test]
     fn quick_ablation_produces_all_tables() {
         let tables = run(ExpSettings::quick());
-        assert_eq!(tables.len(), 7);
+        assert_eq!(tables.len(), 8);
         assert_eq!(tables[0].len(), 4, "four PUB sizes");
         assert_eq!(tables[3].len(), WorkloadKind::ALL.len());
         let eadr = tables[4].render();
         assert!(eadr.contains("btree"));
+        let mech = tables[5].render();
+        assert!(mech.contains("phoenix"));
+        assert!(mech.contains("freij-strict"));
+        assert!(mech.contains("freij-lazy"));
+        assert_eq!(tables[5].len(), WorkloadKind::ALL.len() * 6);
     }
 }

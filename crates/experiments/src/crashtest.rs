@@ -14,7 +14,7 @@ use crate::runner::ExpSettings;
 use crate::tablefmt::Table;
 
 use thoth_crashtest::{oracle_selftest, run_case, sweep_workload, SweepConfig, SweepResult};
-use thoth_sim::{CrashPlan, CrashSiteKind};
+use thoth_sim::{CrashPlan, CrashSiteKind, Mode};
 use thoth_workloads::WorkloadKind;
 
 use std::fmt::Write as _;
@@ -44,35 +44,60 @@ pub fn sweep_config(settings: ExpSettings, quick: bool) -> SweepConfig {
     }
 }
 
+/// The metadata-persistence mechanisms the sweep audits: each has a
+/// distinct recovery procedure (Thoth merges the PUB, Phoenix
+/// reconstructs the MAC region, the Freij variants rebuild from strict
+/// state), and each must recover cleanly from every sampled crash
+/// point. Baseline/AnubisEcc recover like the Freij variants (strict
+/// metadata, trivial rebuild) and eADR flushes its caches at crash —
+/// their coverage lives in the sim crate's recovery tests.
+#[must_use]
+pub fn sweep_modes() -> [Mode; 4] {
+    [
+        Mode::thoth_wtsc(),
+        Mode::phoenix(),
+        Mode::freij_strict(),
+        Mode::freij_lazy(),
+    ]
+}
+
 /// Runs the sweep over the paper's five workloads plus the multi-tenant
-/// service core and the oracle selftest, writes `results/crashtest.json`,
-/// and reports the verdict.
+/// service core — under every mechanism in [`sweep_modes`] — plus the
+/// per-mode oracle selftests, writes `results/crashtest.json`, and
+/// reports the verdict.
 #[must_use]
 pub fn run(settings: ExpSettings, quick: bool) -> CrashtestOutcome {
-    let cfg = sweep_config(settings, quick);
-    let sweeps: Vec<SweepResult> = WorkloadKind::ALL
+    let base = sweep_config(settings, quick);
+    let mut sweeps: Vec<(Mode, SweepResult)> = Vec::new();
+    for mode in sweep_modes() {
+        let cfg = base.clone().with_mode(mode);
+        for kind in WorkloadKind::ALL.into_iter().chain([WorkloadKind::Service]) {
+            eprintln!(
+                "[thoth-experiments] crashtest sweeping {kind} under {}...",
+                mode.label()
+            );
+            sweeps.push((mode, sweep_workload(kind, &cfg)));
+        }
+    }
+    let selftests: Vec<(Mode, Result<(), String>)> = sweep_modes()
         .into_iter()
-        .chain([WorkloadKind::Service])
-        .map(|kind| {
-            eprintln!("[thoth-experiments] crashtest sweeping {kind}...");
-            sweep_workload(kind, &cfg)
-        })
+        .map(|mode| (mode, oracle_selftest(&base.clone().with_mode(mode))))
         .collect();
-    let selftest = oracle_selftest(&cfg);
 
     let mut t = Table::new(
         &format!(
             "Crash sweep: seed {:#x}, {} samples/workload, faults {}",
-            cfg.seed,
-            cfg.samples_per_workload,
-            if cfg.faults.is_active() { "ON" } else { "off" },
+            base.seed,
+            base.samples_per_workload,
+            if base.faults.is_active() { "ON" } else { "off" },
         ),
-        &["workload", "sites", "sampled", "passed", "failed", "min repro"],
+        &["workload", "mode", "sites", "sampled", "passed", "failed", "min repro"],
     );
-    for s in &sweeps {
+    for (mode, s) in &sweeps {
         let sites: u64 = CrashSiteKind::ALL.iter().map(|&k| s.counts.of(k)).sum();
         t.row(vec![
             s.workload.name().to_owned(),
+            mode.label().to_owned(),
             sites.to_string(),
             s.cases.len().to_string(),
             (s.cases.len() - s.failures()).to_string(),
@@ -81,43 +106,54 @@ pub fn run(settings: ExpSettings, quick: bool) -> CrashtestOutcome {
                 .map_or_else(|| "-".to_owned(), |p| p.label()),
         ]);
     }
-    t.row(vec![
-        "oracle-selftest".to_owned(),
-        String::new(),
-        String::new(),
-        if selftest.is_ok() { "1" } else { "0" }.to_owned(),
-        if selftest.is_ok() { "0" } else { "1" }.to_owned(),
-        String::new(),
-    ]);
-
-    if let Err(e) = &selftest {
-        eprintln!("[thoth-experiments] oracle selftest FAILED: {e}");
+    for (mode, selftest) in &selftests {
+        t.row(vec![
+            "oracle-selftest".to_owned(),
+            mode.label().to_owned(),
+            String::new(),
+            String::new(),
+            if selftest.is_ok() { "1" } else { "0" }.to_owned(),
+            if selftest.is_ok() { "0" } else { "1" }.to_owned(),
+            String::new(),
+        ]);
     }
-    for s in &sweeps {
+
+    for (mode, selftest) in &selftests {
+        if let Err(e) = selftest {
+            eprintln!(
+                "[thoth-experiments] oracle selftest under {} FAILED: {e}",
+                mode.label()
+            );
+        }
+    }
+    for (mode, s) in &sweeps {
         if let Some(p) = s.minimized {
             eprintln!(
                 "[thoth-experiments] crashtest FAILURE: reproduce with \
-                 `crashtest --point {}:{} --seed {:#x}`",
+                 `crashtest --point {}:{} --mode {} --seed {:#x}`",
                 s.workload.name(),
                 p.label(),
-                cfg.seed
+                mode.label(),
+                base.seed
             );
         }
     }
 
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/crashtest.json", to_json(&cfg, &sweeps, &selftest))
+    std::fs::write("results/crashtest.json", to_json(&base, &sweeps, &selftests))
         .expect("write results/crashtest.json");
     eprintln!("[thoth-experiments] wrote results/crashtest.json");
 
-    let ok = selftest.is_ok() && sweeps.iter().all(SweepResult::all_passed);
+    let ok = selftests.iter().all(|(_, r)| r.is_ok())
+        && sweeps.iter().all(|(_, s)| s.all_passed());
     CrashtestOutcome { tables: vec![t], ok }
 }
 
 /// Replays a single crash point from a `WORKLOAD:SITE:N` spec (the
-/// reproduction recipe printed on failure) and reports the full audit.
+/// reproduction recipe printed on failure) under `mode` and reports the
+/// full audit.
 #[must_use]
-pub fn run_point(settings: ExpSettings, spec: &str) -> CrashtestOutcome {
+pub fn run_point(settings: ExpSettings, spec: &str, mode: Mode) -> CrashtestOutcome {
     let (kind, plan) = parse_point(spec).unwrap_or_else(|| {
         eprintln!(
             "bad --point spec {spec:?}: expected WORKLOAD:SITE:N, \
@@ -125,14 +161,20 @@ pub fn run_point(settings: ExpSettings, spec: &str) -> CrashtestOutcome {
         );
         std::process::exit(2);
     });
-    let cfg = sweep_config(settings, true);
+    let cfg = sweep_config(settings, true).with_mode(mode);
     let trace = cfg.trace(kind);
     let sim = cfg.sim_config();
     let case = run_case(&sim, &trace, kind, plan, &cfg.faults);
     let a = &case.audit;
 
     let mut t = Table::new(
-        &format!("Crash point {}:{} (seed {:#x})", kind, plan.label(), cfg.seed),
+        &format!(
+            "Crash point {}:{} under {} (seed {:#x})",
+            kind,
+            plan.label(),
+            mode.label(),
+            cfg.seed
+        ),
         &["check", "value"],
     );
     t.row(vec!["fired".into(), case.fired.to_string()]);
@@ -164,7 +206,11 @@ fn parse_point(spec: &str) -> Option<(WorkloadKind, CrashPlan)> {
 /// Serializes the sweep as JSON (hand-rolled — no serializer dependency
 /// by design; see DESIGN.md §5).
 #[must_use]
-pub fn to_json(cfg: &SweepConfig, sweeps: &[SweepResult], selftest: &Result<(), String>) -> String {
+pub fn to_json(
+    cfg: &SweepConfig,
+    sweeps: &[(Mode, SweepResult)],
+    selftests: &[(Mode, Result<(), String>)],
+) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(
         s,
@@ -175,13 +221,21 @@ pub fn to_json(cfg: &SweepConfig, sweeps: &[SweepResult], selftest: &Result<(), 
         cfg.samples_per_workload,
         cfg.faults.is_active()
     );
-    let _ = writeln!(s, "  \"oracle_selftest\": {},", selftest.is_ok());
+    s.push_str("  \"oracle_selftest\": { ");
+    for (i, (mode, r)) in selftests.iter().enumerate() {
+        let _ = write!(s, "\"{}\": {}", mode.label(), r.is_ok());
+        if i + 1 < selftests.len() {
+            s.push_str(", ");
+        }
+    }
+    s.push_str(" },\n");
     s.push_str("  \"workloads\": [\n");
-    for (i, sw) in sweeps.iter().enumerate() {
+    for (i, (mode, sw)) in sweeps.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{ \"workload\": \"{}\", \"sites\": {{ ",
-            sw.workload.name()
+            "    {{ \"workload\": \"{}\", \"mode\": \"{}\", \"sites\": {{ ",
+            sw.workload.name(),
+            mode.label()
         );
         for (j, &kind) in CrashSiteKind::ALL.iter().enumerate() {
             let _ = write!(s, "\"{}\": {}", kind.tag(), sw.counts.of(kind));
@@ -247,11 +301,26 @@ mod tests {
     #[test]
     fn json_is_balanced() {
         let cfg = SweepConfig::quick();
-        let sweeps = vec![sweep_workload(WorkloadKind::Swap, &cfg)];
-        let j = to_json(&cfg, &sweeps, &Ok(()));
+        let sweeps = vec![(Mode::thoth_wtsc(), sweep_workload(WorkloadKind::Swap, &cfg))];
+        let selftests = vec![
+            (Mode::thoth_wtsc(), Ok(())),
+            (Mode::phoenix(), Ok(())),
+        ];
+        let j = to_json(&cfg, &sweeps, &selftests);
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
-        assert!(j.contains("\"oracle_selftest\": true"));
+        assert!(j.contains("\"thoth-wtsc\": true"));
+        assert!(j.contains("\"phoenix\": true"));
         assert!(j.contains("\"workload\": \"swap\""));
+        assert!(j.contains("\"mode\": \"thoth-wtsc\""));
+    }
+
+    #[test]
+    fn sweep_modes_cover_every_distinct_recovery_procedure() {
+        let modes = sweep_modes();
+        assert!(modes.contains(&Mode::thoth_wtsc()), "PUB merge recovery");
+        assert!(modes.contains(&Mode::phoenix()), "MAC reconstruction recovery");
+        assert!(modes.contains(&Mode::freij_strict()));
+        assert!(modes.contains(&Mode::freij_lazy()));
     }
 }

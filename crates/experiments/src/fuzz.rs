@@ -35,8 +35,8 @@ use crate::tablefmt::Table;
 use thoth_crashtest::{audit_recovery, probe_grid, ShadowHeap, SweepConfig};
 use thoth_psan::{check_events, BLOCK_BYTES};
 use thoth_sim::{
-    CrashPlan, CrashSiteKind, LoggedOp, MemoryLayout, PersistEvent, PersistEventKind, SecureNvm,
-    SimConfig, WriteCategory, NO_CTX,
+    CrashPlan, CrashSiteKind, LoggedOp, MemoryLayout, Mode, PersistEvent, PersistEventKind,
+    SecureNvm, SimConfig, WriteCategory, NO_CTX,
 };
 use thoth_sim_engine::DetRng;
 use thoth_workloads::fuzz::{generate_fuzz, FuzzSpec};
@@ -46,6 +46,26 @@ use std::fmt::Write as _;
 
 /// Seed salt for anchor (crash-ordinal) selection.
 const ANCHOR_SALT: u64 = 0xA2C4_0FF5;
+
+/// Seed stride for the per-mechanism batches (distinct from the main
+/// sweep's stride so the batches explore different traces).
+const MODE_SEED_STRIDE: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// The extension mechanisms every fuzz run cross-checks in addition to
+/// the default Thoth/WTSC machine: each changes the persist schedule and
+/// the recovery procedure the three observers must still agree on.
+fn ext_modes() -> [Mode; 3] {
+    [Mode::phoenix(), Mode::freij_strict(), Mode::freij_lazy()]
+}
+
+/// Cases per extension mechanism (the main sweep stays the bulk).
+fn mode_case_count(quick: bool) -> usize {
+    if quick {
+        25
+    } else {
+        50
+    }
+}
 
 /// The YCSB mixes whose measured stats bias the fuzz corpus.
 const MIXES: [MixKind; 3] = [MixKind::A, MixKind::B, MixKind::F];
@@ -88,6 +108,15 @@ struct MixRow {
     mix: MixKind,
     mutate_per_mille: u32,
     hot_bias_pct: u8,
+    cases: usize,
+    fired: usize,
+    agreements: usize,
+}
+
+/// Per-mechanism aggregate of the extension batches.
+#[derive(Debug, Clone, Copy)]
+struct ModeRow {
+    mode: Mode,
     cases: usize,
     fired: usize,
     agreements: usize,
@@ -259,7 +288,7 @@ pub fn run(settings: ExpSettings, quick: bool, trace: Option<&str>) -> FuzzOutco
     ];
 
     if let Some(recipe) = trace {
-        return replay_trace(&sim, &stats, recipe);
+        return replay_trace(&stats, recipe);
     }
 
     let n = case_count(quick);
@@ -302,6 +331,48 @@ pub fn run(settings: ExpSettings, quick: bool, trace: Option<&str>) -> FuzzOutco
         }
     }
 
+    // Per-mechanism batches: the same triad under each extension mode.
+    // A disagreement here means the mechanism's persist schedule or
+    // recovery procedure broke one observer's model of the machine.
+    let mut mode_rows: Vec<ModeRow> = Vec::new();
+    for mode in ext_modes() {
+        let mn = mode_case_count(quick);
+        eprintln!(
+            "[thoth-experiments] fuzz sweeping {mn} traces under {}...",
+            mode.label()
+        );
+        let sim_m = sweep_sim.clone().with_mode(mode).sim_config();
+        let mut row = ModeRow {
+            mode,
+            cases: 0,
+            fired: 0,
+            agreements: 0,
+        };
+        for i in 0..mn {
+            let seed = settings.seed ^ (i as u64).wrapping_mul(MODE_SEED_STRIDE);
+            let (_, anchor, v, a) = run_case(&sim_m, &stats, seed, None);
+            row.cases += 1;
+            row.fired += usize::from(v.fired);
+            if v.agree() {
+                row.agreements += 1;
+            } else {
+                let min = minimize_anchor(&sim_m, &a, anchor, false);
+                let recipe = format!("{seed}:{min}:{}", mode.label());
+                eprintln!(
+                    "[thoth-experiments] fuzz DISAGREEMENT under {} at seed {seed} \
+                     anchor {anchor} (psan_errors {}, audit_clean {}, shadow {}), minimized \
+                     to `thoth-experiments fuzz --trace {recipe}`",
+                    mode.label(),
+                    v.psan_errors,
+                    v.audit_clean,
+                    v.shadow_agrees
+                );
+                disagreements.push(recipe);
+            }
+        }
+        mode_rows.push(row);
+    }
+
     // Injected-disagreement selftest: tamper with the event stream of a
     // known-clean case; the triad must notice and the minimizer must
     // shrink it (the tamper survives any crash ordinal, so the grid's
@@ -333,7 +404,8 @@ pub fn run(settings: ExpSettings, quick: bool, trace: Option<&str>) -> FuzzOutco
         eprintln!("[thoth-experiments] fuzz selftest FAILED: tampered stream went unnoticed");
     }
 
-    let all_fired = rows.iter().all(|r| r.fired == r.cases);
+    let all_fired = rows.iter().all(|r| r.fired == r.cases)
+        && mode_rows.iter().all(|r| r.fired == r.cases);
     let all_agree = disagreements.is_empty();
     let ok = all_fired && all_agree && self_caught && self_min <= self_anchor;
 
@@ -368,6 +440,27 @@ pub fn run(settings: ExpSettings, quick: bool, trace: Option<&str>) -> FuzzOutco
             .to_owned(),
         ]);
     }
+    let mut t_modes = Table::new(
+        &format!(
+            "Mechanism cross-check: {} traces per extension mode",
+            mode_case_count(quick)
+        ),
+        &["mode", "cases", "fired", "agreements", "verdict"],
+    );
+    for r in &mode_rows {
+        t_modes.row(vec![
+            r.mode.label().to_owned(),
+            r.cases.to_string(),
+            r.fired.to_string(),
+            r.agreements.to_string(),
+            if r.agreements == r.cases && r.fired == r.cases {
+                "agree"
+            } else {
+                "DISAGREE"
+            }
+            .to_owned(),
+        ]);
+    }
     let mut t_self = Table::new(
         "Injected-disagreement selftest (dropped data-acceptance event)",
         &["case", "anchor", "caught", "minimized anchor", "repro"],
@@ -387,6 +480,7 @@ pub fn run(settings: ExpSettings, quick: bool, trace: Option<&str>) -> FuzzOutco
             settings,
             quick,
             &rows,
+            &mode_rows,
             &disagreements,
             self_caught,
             self_anchor,
@@ -399,21 +493,40 @@ pub fn run(settings: ExpSettings, quick: bool, trace: Option<&str>) -> FuzzOutco
     eprintln!("[thoth-experiments] wrote results/fuzz.json");
 
     FuzzOutcome {
-        tables: vec![t, t_self],
+        tables: vec![t, t_modes, t_self],
         ok,
     }
 }
 
-/// Replays one `SEED:ANCHOR` case verbosely (the printed repro recipe).
-fn replay_trace(sim: &SimConfig, stats: &[MixStats; 3], recipe: &str) -> FuzzOutcome {
-    let (seed_s, anchor_s) = recipe
-        .split_once(':')
-        .expect("--trace takes SEED:ANCHOR");
-    let seed: u64 = seed_s.trim().parse().expect("--trace SEED is a u64");
-    let anchor: u64 = anchor_s.trim().parse().expect("--trace ANCHOR is a u64");
-    let (mix, nth, v, _) = run_case(sim, stats, seed, Some(anchor));
+/// Replays one `SEED:ANCHOR[:MODE]` case verbosely (the printed repro
+/// recipe; MODE defaults to thoth-wtsc).
+fn replay_trace(stats: &[MixStats; 3], recipe: &str) -> FuzzOutcome {
+    let mut parts = recipe.splitn(3, ':');
+    let seed: u64 = parts
+        .next()
+        .expect("--trace takes SEED:ANCHOR[:MODE]")
+        .trim()
+        .parse()
+        .expect("--trace SEED is a u64");
+    let anchor: u64 = parts
+        .next()
+        .expect("--trace takes SEED:ANCHOR[:MODE]")
+        .trim()
+        .parse()
+        .expect("--trace ANCHOR is a u64");
+    let mode = parts.next().map_or(Mode::thoth_wtsc(), |label| {
+        *Mode::ALL
+            .iter()
+            .find(|m| m.label() == label.trim())
+            .expect("--trace MODE is a known mode label")
+    });
+    let sim = SweepConfig::default().with_mode(mode).sim_config();
+    let (mix, nth, v, _) = run_case(&sim, stats, seed, Some(anchor));
     let mut t = Table::new(
-        &format!("Fuzz case replay: seed {seed}, crash anchor persist:{nth}"),
+        &format!(
+            "Fuzz case replay: seed {seed}, crash anchor persist:{nth}, mode {}",
+            mode.label()
+        ),
         &["mix", "fired", "events", "psan errors", "audit", "shadow", "verdict"],
     );
     t.row(vec![
@@ -438,6 +551,7 @@ fn to_json(
     settings: ExpSettings,
     quick: bool,
     rows: &[MixRow],
+    mode_rows: &[ModeRow],
     disagreements: &[String],
     self_caught: bool,
     self_anchor: u64,
@@ -467,6 +581,18 @@ fn to_json(
             r.agreements
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"mode_sweeps\": [\n");
+    for (i, r) in mode_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"mode\": \"{}\", \"cases\": {}, \"fired\": {}, \"agreements\": {} }}",
+            r.mode.label(),
+            r.cases,
+            r.fired,
+            r.agreements
+        );
+        s.push_str(if i + 1 < mode_rows.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n  \"disagreements\": [");
     for (i, d) in disagreements.iter().enumerate() {
@@ -603,10 +729,17 @@ mod tests {
             fired: 3,
             agreements: 3,
         }];
+        let mode_rows = vec![ModeRow {
+            mode: Mode::phoenix(),
+            cases: 2,
+            fired: 2,
+            agreements: 2,
+        }];
         let j = to_json(
             ExpSettings::quick(),
             true,
             &rows,
+            &mode_rows,
             &["1:0".to_owned()],
             true,
             9,
@@ -617,6 +750,7 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"mix\": \"ycsb-b\""));
+        assert!(j.contains("\"mode\": \"phoenix\""));
         assert!(j.contains("\"disagreements\": [\"1:0\"]"));
         assert!(j.contains("\"minimized_anchor\": 0"));
         assert!(j.contains("\"ok\": false"));

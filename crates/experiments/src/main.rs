@@ -28,6 +28,7 @@ fn main() {
     let mut scale_given = false;
     let mut quick = false;
     let mut point: Option<String> = None;
+    let mut point_mode = thoth_sim::Mode::thoth_wtsc();
     let mut trace: Option<String> = None;
     let mut trajectory: Vec<f64> = Vec::new();
     let mut expect_digest: Option<u64> = None;
@@ -46,6 +47,19 @@ fn main() {
             }
             "--point" => {
                 point = Some(args.next().expect("--point needs WORKLOAD:SITE:N"));
+            }
+            "--mode" => {
+                let v = args.next().expect("--mode needs a mode label");
+                point_mode = *thoth_sim::Mode::ALL
+                    .iter()
+                    .find(|m| m.label() == v)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown mode {v:?}; one of:");
+                        for m in thoth_sim::Mode::ALL {
+                            eprintln!("  {}", m.label());
+                        }
+                        std::process::exit(2);
+                    });
             }
             "--trace" => {
                 trace = Some(args.next().expect("--trace needs SEED:ANCHOR"));
@@ -132,7 +146,7 @@ fn main() {
                     s.scale = ExpSettings::quick().scale;
                 }
                 let out = match &point {
-                    Some(spec) => crashtest::run_point(s, spec),
+                    Some(spec) => crashtest::run_point(s, spec, point_mode),
                     None => crashtest::run(s, quick),
                 };
                 emit(out.tables, "crashtest");
@@ -261,9 +275,14 @@ OPTIONS:
   --point WORKLOAD:SITE:N
              (crashtest only) replay one crash point, e.g.
              btree:persist:117 — the recipe printed on sweep failure
-  --trace SEED:ANCHOR
+  --mode LABEL
+             (crashtest --point only) mechanism to replay the point
+             under, e.g. phoenix (default thoth-wtsc)
+  --trace SEED:ANCHOR[:MODE]
              (fuzz only) replay one fuzz case verbosely — the recipe
-             printed when a disagreement is minimized
+             printed when a disagreement is minimized; the optional
+             MODE is a mechanism label such as phoenix (default
+             thoth-wtsc)
   --trajectory S1,S2,...
              (perf only) also measure the matrix at each extra scale and
              record every point in the results trajectory array

@@ -5,7 +5,9 @@
 //! * **Clean sweep** — every paper workload (plus the service extension)
 //!   runs unmodified through the instrumented simulator under every
 //!   persistence mechanism (baseline, Thoth/WTSC, Thoth/WTBC, ideal
-//!   Anubis-ECC); the sanitizer must report zero durability or ordering
+//!   Anubis-ECC, Phoenix, Freij strict/lazy — everything except eADR,
+//!   whose in-domain caches collapse the persist lifecycle the checker
+//!   replays); the sanitizer must report zero durability or ordering
 //!   findings *and* zero performance smells for all of them (the
 //!   workload runtime's undo-log dedup keeps the transactions
 //!   smell-free, and a mechanism-dependent finding would mean the
@@ -27,20 +29,43 @@ use crate::runner::ExpSettings;
 use crate::tablefmt::Table;
 
 use thoth_psan::{
-    analyze_clean_under, analyze_variant, detection, expected_class, seed_variant, BLOCK_BYTES,
+    analyze_clean_under, analyze_variant_with_events, detection, expected_class, race_manifested,
+    seed_variant_under, BLOCK_BYTES,
 };
 use thoth_sim::Mode;
 use thoth_workloads::{spec, SeededBug, WorkloadKind};
 
 use std::fmt::Write as _;
 
-/// The persistence mechanisms the clean sweep must be silent under.
-fn modes() -> [Mode; 4] {
+/// The persistence mechanisms the clean sweep must be silent under —
+/// every mode except eADR (whose in-domain caches make every store
+/// durable at issue, so the persist-event lifecycle the checker replays
+/// never forms).
+fn modes() -> [Mode; 7] {
     [
         Mode::baseline(),
         Mode::thoth_wtsc(),
         Mode::thoth_wtbc(),
         Mode::AnubisEcc,
+        Mode::phoenix(),
+        Mode::freij_strict(),
+        Mode::freij_lazy(),
+    ]
+}
+
+/// The mechanisms the seeded-bug corpus runs under: the planted bugs
+/// are program-level, so each new mechanism must catch all of them at
+/// the planted sites too. Thoth/WTSC is the historical default; the
+/// remaining strict-persistence modes behave like the baseline seen
+/// from the checker, so one representative (the corpus under
+/// Thoth/WTSC has exercised `in-place` covers since psan v1) keeps the
+/// matrix proportionate.
+fn corpus_modes() -> [Mode; 4] {
+    [
+        Mode::thoth_wtsc(),
+        Mode::phoenix(),
+        Mode::freij_strict(),
+        Mode::freij_lazy(),
     ]
 }
 
@@ -78,13 +103,37 @@ struct CleanRow {
 #[derive(Debug)]
 struct CorpusRow {
     kind: WorkloadKind,
+    mode: Mode,
     bug: SeededBug,
     seed: u64,
     /// `None` when the workload exposes no eligible site for the bug
     /// (the swap workload is log-free, so log/data swaps cannot exist).
     site: Option<String>,
+    /// For cross-core race bugs: whether the planted race actually
+    /// manifested in this mode's schedule (two cores co-resident on the
+    /// victim block in the WPQ). A race whose window closed — strict
+    /// mechanisms drain the block between the racing persists — owes no
+    /// finding, exactly as for a dynamic data-race detector. Always
+    /// true for single-core bugs.
+    manifested: bool,
     detected: bool,
     findings: usize,
+}
+
+/// True when `bug` can manifest under `mode`. Freij strict subtree
+/// persistence streams every updated tree-path node — including the
+/// shared BMT root — through the WPQ with each store, so drain
+/// publication orders effectively every pair of cross-core persists:
+/// the pure happens-before race plantings are ordered by construction
+/// and cannot manifest there. Relaxed steal stays eligible everywhere —
+/// when no peer connects, the defect surfaces as a plain durability
+/// bug, independent of cross-core ordering.
+fn bug_applies(bug: SeededBug, mode: Mode) -> bool {
+    !(mode == Mode::freij_strict()
+        && matches!(
+            bug,
+            SeededBug::UnfencedCounter | SeededBug::SwappedDrainOrder | SeededBug::CoverOverlap
+        ))
 }
 
 /// Site-selection seeds per (workload, bug) pair: quick plants one
@@ -103,30 +152,36 @@ fn plant(
     rows: &mut Vec<CorpusRow>,
     annotated: &thoth_workloads::AnnotatedTrace,
     kind: WorkloadKind,
+    mode: Mode,
     bug: SeededBug,
     seed: u64,
 ) {
-    let Some(variant) = seed_variant(annotated, bug, seed) else {
+    let Some(variant) = seed_variant_under(annotated, bug, seed, mode) else {
         rows.push(CorpusRow {
             kind,
+            mode,
             bug,
             seed,
             site: None,
+            manifested: false,
             detected: false,
             findings: 0,
         });
         return;
     };
-    let run = analyze_variant(&variant);
+    let (run, events) = analyze_variant_with_events(&variant, mode);
+    let detected = detection(&run, &variant).is_some();
     rows.push(CorpusRow {
         kind,
+        mode,
         bug,
         seed,
         site: Some(format!(
             "core{}:op{}:{:#x}",
             variant.site.core, variant.site.op, variant.site.addr
         )),
-        detected: detection(&run, &variant).is_some(),
+        manifested: !bug.is_cross_core() || detected || race_manifested(&events, variant.site.addr),
+        detected,
         findings: run.report.findings.len(),
     });
 }
@@ -169,18 +224,26 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
     }
 
     // Corpus: classic bugs across every paper workload, race bugs once
-    // each at their designated workload (alignment-seeded).
+    // each at their designated workload (alignment-seeded, per mode —
+    // event sequence numbers shift with the persist schedule), the
+    // whole matrix repeated under each corpus mechanism.
     for kind in WorkloadKind::ALL {
         let annotated = spec::generate_annotated(thoth_psan::workload_config(kind, scale));
-        for bug in SeededBug::CLASSIC {
-            for &seed in seeds(quick) {
-                plant(&mut corpus_rows, &annotated, kind, bug, seed);
-            }
-        }
-        for (bug, site_kind) in RACE_SITES {
-            if site_kind == kind {
+        for mode in corpus_modes() {
+            eprintln!(
+                "[thoth-experiments] psan planting corpus in {kind} under {}...",
+                mode.label()
+            );
+            for bug in SeededBug::CLASSIC {
                 for &seed in seeds(quick) {
-                    plant(&mut corpus_rows, &annotated, kind, bug, seed);
+                    plant(&mut corpus_rows, &annotated, kind, mode, bug, seed);
+                }
+            }
+            for (bug, site_kind) in RACE_SITES {
+                if site_kind == kind && bug_applies(bug, mode) {
+                    for &seed in seeds(quick) {
+                        plant(&mut corpus_rows, &annotated, kind, mode, bug, seed);
+                    }
                 }
             }
         }
@@ -189,10 +252,13 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
     let clean_ok = clean_rows.iter().all(|r| r.errors == 0 && r.smells == 0);
     let corpus_ok = corpus_rows
         .iter()
-        .all(|r| r.site.is_none() || r.detected);
+        .all(|r| r.site.is_none() || !r.manifested || r.detected);
     let ok = clean_ok && corpus_ok;
 
-    let eligible = corpus_rows.iter().filter(|r| r.site.is_some()).count();
+    let eligible = corpus_rows
+        .iter()
+        .filter(|r| r.site.is_some() && r.manifested)
+        .count();
     let caught = corpus_rows.iter().filter(|r| r.detected).count();
     eprintln!("[thoth-experiments] psan corpus: {caught}/{eligible} planted bugs caught");
 
@@ -218,11 +284,12 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
 
     let mut t_corpus = Table::new(
         &format!("Sanitizer seeded-bug corpus ({caught}/{eligible} caught at planted sites)"),
-        &["workload", "bug", "seed", "site", "findings", "verdict"],
+        &["workload", "mode", "bug", "seed", "site", "findings", "verdict"],
     );
     for r in &corpus_rows {
         t_corpus.row(vec![
             r.kind.name().to_owned(),
+            r.mode.label().to_owned(),
             r.bug.name().to_owned(),
             r.seed.to_string(),
             r.site.clone().unwrap_or_else(|| "(no eligible site)".to_owned()),
@@ -231,6 +298,8 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
                 "n/a"
             } else if r.detected {
                 "caught"
+            } else if !r.manifested {
+                "window closed"
             } else {
                 "MISSED"
             }
@@ -239,11 +308,12 @@ pub fn run(settings: ExpSettings, quick: bool) -> PsanOutcome {
     }
 
     for r in &corpus_rows {
-        if r.site.is_some() && !r.detected {
+        if r.site.is_some() && r.manifested && !r.detected {
             eprintln!(
-                "[thoth-experiments] psan MISS: {}:{} seed {} expected {} at {}",
+                "[thoth-experiments] psan MISS: {}:{} under {} seed {} expected {} at {}",
                 r.kind.name(),
                 r.bug.name(),
+                r.mode.label(),
                 r.seed,
                 expected_class(r.bug),
                 r.site.as_deref().unwrap_or("?"),
@@ -298,12 +368,15 @@ fn to_json(
     for (i, r) in corpus.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{ \"workload\": \"{}\", \"bug\": \"{}\", \"seed\": {}, \"eligible\": {}, \
-             \"site\": {}, \"expected_class\": \"{}\", \"detected\": {}, \"findings\": {} }}",
+            "    {{ \"workload\": \"{}\", \"mode\": \"{}\", \"bug\": \"{}\", \"seed\": {}, \
+             \"eligible\": {}, \"manifested\": {}, \"site\": {}, \"expected_class\": \"{}\", \
+             \"detected\": {}, \"findings\": {} }}",
             r.kind.name(),
+            r.mode.label(),
             r.bug.name(),
             r.seed,
             r.site.is_some(),
+            r.manifested,
             r.site
                 .as_ref()
                 .map_or_else(|| "null".to_owned(), |l| format!("\"{l}\"")),
@@ -332,10 +405,38 @@ mod tests {
         for bug in SeededBug::RACES {
             assert_eq!(RACE_SITES.iter().filter(|&&(b, _)| b == bug).count(), 1);
         }
-        // Quick corpus size: 5 workloads × 3 classic bugs − 1 ineligible
-        // (swap has no log) + 4 races = 18 eligible detections.
+        // Quick corpus size per mode: 5 workloads × 3 classic bugs − 1
+        // ineligible (swap has no log) + 4 races = 18 eligible
+        // detections, planted under each of the 4 corpus mechanisms.
         let classic = WorkloadKind::ALL.len() * SeededBug::CLASSIC.len() - 1;
         assert_eq!(classic + RACE_SITES.len(), 18);
+        assert_eq!(corpus_modes().len(), 4);
+    }
+
+    #[test]
+    fn strict_subtree_mode_excludes_only_pure_hb_races() {
+        let mut skipped = 0;
+        for mode in corpus_modes() {
+            for bug in SeededBug::CLASSIC.into_iter().chain(SeededBug::RACES) {
+                if !bug_applies(bug, mode) {
+                    assert_eq!(mode, Mode::freij_strict());
+                    assert!(bug.is_cross_core());
+                    assert_ne!(bug, SeededBug::RelaxedSteal);
+                    skipped += 1;
+                }
+            }
+        }
+        assert_eq!(skipped, 3);
+    }
+
+    #[test]
+    fn corpus_modes_are_a_subset_of_the_clean_sweep() {
+        // Every mechanism the corpus plants bugs under must also be
+        // proven finding-free on the clean traces, or a detection could
+        // be a mechanism artifact rather than the planted bug.
+        for m in corpus_modes() {
+            assert!(modes().contains(&m), "{} missing from clean sweep", m.label());
+        }
     }
 
     #[test]
@@ -349,9 +450,11 @@ mod tests {
         }];
         let corpus = vec![CorpusRow {
             kind: WorkloadKind::Swap,
+            mode: Mode::phoenix(),
             bug: SeededBug::DroppedFlush,
             seed: 1,
             site: Some("core0:op5:0x1000".to_owned()),
+            manifested: true,
             detected: true,
             findings: 1,
         }];
@@ -366,13 +469,16 @@ mod tests {
     #[test]
     fn quick_run_on_one_variant_detects() {
         // A focused end-to-end check (the full sweep runs in CI): plant a
-        // dropped flush in the swap workload and catch it.
+        // dropped flush in the swap workload and catch it — under both
+        // the historical default mechanism and the Phoenix extension.
         let scale = thoth_psan::DEFAULT_SCALE;
         let annotated =
             spec::generate_annotated(thoth_psan::workload_config(WorkloadKind::Swap, scale));
-        let v = seed_variant(&annotated, SeededBug::DroppedFlush, 1)
-            .expect("swap exposes dropped-flush sites");
-        let run = analyze_variant(&v);
-        assert!(detection(&run, &v).is_some());
+        for mode in [Mode::thoth_wtsc(), Mode::phoenix()] {
+            let v = seed_variant_under(&annotated, SeededBug::DroppedFlush, 1, mode)
+                .expect("swap exposes dropped-flush sites");
+            let run = thoth_psan::analyze_variant_under(&v, mode);
+            assert!(detection(&run, &v).is_some(), "missed under {}", mode.label());
+        }
     }
 }

@@ -20,6 +20,21 @@ pub enum Mode {
     /// immediately and security metadata persists through natural
     /// eviction alone — no strict persistence, no PUB.
     Eadr,
+    /// Phoenix-style persistent tree of counters (arXiv:1911.01922):
+    /// counter blocks (the tree leaves) persist strictly with every
+    /// write, the upper levels and the MAC region stay lazy, and
+    /// recovery reconstructs the reconstructible state from the
+    /// persisted counters and ciphertext.
+    Phoenix,
+    /// Freij et al.'s streamlined BMT updates (arXiv:2003.04693) with
+    /// strict subtree persistence: counter + MAC blocks persist in
+    /// place and every updated tree-path node streams through the WPQ,
+    /// pipelined with the data write.
+    FreijStrict,
+    /// Freij et al.'s streamlined updates with lazy subtree
+    /// persistence: counter + MAC blocks persist in place, tree nodes
+    /// persist only through natural MT-cache eviction.
+    FreijLazy,
 }
 
 impl Mode {
@@ -47,6 +62,24 @@ impl Mode {
         Mode::Eadr
     }
 
+    /// The Phoenix tree-of-counters machine.
+    #[must_use]
+    pub fn phoenix() -> Mode {
+        Mode::Phoenix
+    }
+
+    /// Freij-style streamlined updates, strict subtree persistence.
+    #[must_use]
+    pub fn freij_strict() -> Mode {
+        Mode::FreijStrict
+    }
+
+    /// Freij-style streamlined updates, lazy subtree persistence.
+    #[must_use]
+    pub fn freij_lazy() -> Mode {
+        Mode::FreijLazy
+    }
+
     /// Stable label for reports.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -56,8 +89,24 @@ impl Mode {
             Mode::Thoth(EvictionPolicy::Wtbc) => "thoth-wtbc",
             Mode::AnubisEcc => "anubis-ecc",
             Mode::Eadr => "eadr",
+            Mode::Phoenix => "phoenix",
+            Mode::FreijStrict => "freij-strict",
+            Mode::FreijLazy => "freij-lazy",
         }
     }
+
+    /// Every supported mechanism, in report order: the paper's four
+    /// machines first, then the extension mechanisms.
+    pub const ALL: [Mode; 8] = [
+        Mode::Baseline,
+        Mode::Thoth(EvictionPolicy::Wtsc),
+        Mode::Thoth(EvictionPolicy::Wtbc),
+        Mode::AnubisEcc,
+        Mode::Eadr,
+        Mode::Phoenix,
+        Mode::FreijStrict,
+        Mode::FreijLazy,
+    ];
 }
 
 /// How the PCB is arranged relative to the WPQ (Section IV-C).
@@ -263,6 +312,20 @@ mod tests {
         assert_eq!(Mode::thoth_wtbc().label(), "thoth-wtbc");
         assert_eq!(Mode::AnubisEcc.label(), "anubis-ecc");
         assert_eq!(Mode::eadr().label(), "eadr");
+        assert_eq!(Mode::phoenix().label(), "phoenix");
+        assert_eq!(Mode::freij_strict().label(), "freij-strict");
+        assert_eq!(Mode::freij_lazy().label(), "freij-lazy");
+    }
+
+    #[test]
+    fn all_modes_are_distinct_and_validate() {
+        let mut labels: Vec<&str> = Mode::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Mode::ALL.len());
+        for mode in Mode::ALL {
+            SimConfig::paper_default(mode, 128).validate();
+        }
     }
 
     #[test]

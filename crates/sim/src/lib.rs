@@ -28,6 +28,7 @@ pub mod crash;
 pub mod diagnostics;
 pub mod layout;
 pub mod machine;
+pub(crate) mod mechanism;
 pub mod psan_events;
 pub mod report;
 pub mod service;

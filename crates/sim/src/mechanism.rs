@@ -1,0 +1,487 @@
+//! The metadata-persistence mechanism seam.
+//!
+//! Every [`Mode`] resolves to one [`MetaMechanism`] implementation that
+//! declares, in one place, the three things a mechanism is responsible
+//! for:
+//!
+//! * its **persist schedule** — what happens to the counter, MAC and
+//!   integrity-tree state when a store (or an overflow re-encryption)
+//!   needs its metadata made durable ([`MetaMechanism::persist_store`],
+//!   [`MetaMechanism::persist_reencrypt`], plus the schedule flags),
+//! * its **recovery procedure** — the mechanism-specific step that runs
+//!   before the generic tree rebuild ([`MetaMechanism::recover_metadata`])
+//!   and any residual-energy work at the crash instant
+//!   ([`MetaMechanism::crash_residual`]),
+//! * its **psan cover semantics** — the [`MetaMech`] edge it emits for
+//!   every covered data persist (the return value of the persist hooks).
+//!
+//! The machine itself ([`crate::machine::SecureNvm`]) stays
+//! mechanism-agnostic: it runs the shared pipeline (counter fetch +
+//! increment, encryption, first-level MAC, eager logical-tree update,
+//! data write) and delegates everything metadata-durability-related
+//! through this trait. Implementations are stateless unit structs, so
+//! dispatch is a `&'static dyn` lookup with no per-machine storage and
+//! no borrow entanglement with the machine's own fields.
+
+use crate::config::{Mode, PcbArrangement};
+use crate::machine::SecureNvm;
+use crate::psan_events::MetaMech;
+use crate::report::RecoveryReport;
+
+use thoth_core::PartialUpdate;
+use thoth_nvm::WriteCategory;
+use thoth_sim_engine::{Cycle, FastSet};
+
+/// Everything a mechanism may need about the store being covered.
+/// Computed once by the shared pipeline and handed over by value.
+pub(crate) struct StoreMeta {
+    /// Data block index.
+    pub index: u64,
+    /// Data block address.
+    pub addr: u64,
+    /// Counter block address.
+    pub cb: u64,
+    /// MAC block address.
+    pub mb: u64,
+    /// Slot of this block's MAC inside the MAC block.
+    pub mslot: usize,
+    /// Post-increment minor counter.
+    pub minor: u8,
+    /// Counter-cache dirtiness sampled before this store's update.
+    pub ctr_was_dirty: bool,
+    /// MAC-cache dirtiness sampled before this store's update.
+    pub mac_was_dirty: bool,
+    /// The fresh first-level MAC of the (new) ciphertext.
+    pub first_mac: Vec<u8>,
+    /// The counter block packed to its NVM image, post-increment.
+    pub packed_ctr: Vec<u8>,
+}
+
+/// The re-encryption variant of [`StoreMeta`] (counter state was already
+/// persisted eagerly by the overflow handler).
+pub(crate) struct ReencryptMeta {
+    /// Data block index.
+    pub index: u64,
+    /// Data block address.
+    pub addr: u64,
+    /// MAC block address.
+    pub mb: u64,
+    /// Slot of this block's MAC inside the MAC block.
+    pub mslot: usize,
+    /// Current (post-overflow) minor counter.
+    pub minor: u8,
+    /// MAC-cache dirtiness sampled before the image update.
+    pub mac_was_dirty: bool,
+    /// The fresh first-level MAC of the re-encrypted ciphertext.
+    pub first_mac: Vec<u8>,
+}
+
+/// One metadata-persistence mechanism (see the module docs).
+pub(crate) trait MetaMechanism: Sync {
+    /// Whether the Anubis shadow table tracks dirty metadata lines (the
+    /// recovery-time dirty map). Strict, persistent-domain and
+    /// reconstructing mechanisms keep NVM consistent without it.
+    fn shadow_tracked(&self) -> bool {
+        false
+    }
+
+    /// Charge the baseline's extra last-level hash at store time
+    /// ("we calculate another hash for the last level", Section V-A).
+    fn extra_store_hash(&self) -> bool {
+        false
+    }
+
+    /// Strict subtree persistence: stream every updated tree-path node
+    /// through the WPQ with the store instead of dirtying the MT cache.
+    fn strict_tree_path(&self) -> bool {
+        false
+    }
+
+    /// Persist schedule for one store's metadata. May advance `t`
+    /// (engine latencies) and fold extra durability into `ack`; returns
+    /// the psan cover edge for the data block.
+    fn persist_store(
+        &self,
+        m: &mut SecureNvm,
+        t: &mut Cycle,
+        ack: &mut Cycle,
+        meta: StoreMeta,
+    ) -> MetaMech;
+
+    /// Persist schedule for one overflow re-encryption's MAC update.
+    fn persist_reencrypt(&self, m: &mut SecureNvm, t: Cycle, meta: ReencryptMeta) -> MetaMech;
+
+    /// Residual-energy work at the crash instant, before the WPQ's ADR
+    /// flush. Default: nothing survives outside the ADR domain.
+    fn crash_residual(&self, _m: &mut SecureNvm) {}
+
+    /// Mechanism-specific recovery step, run before the generic tree
+    /// rebuild. `t` accumulates the measured recovery time on the
+    /// device model. Default: nothing to recover.
+    fn recover_metadata(&self, _m: &mut SecureNvm, _t: &mut Cycle, _report: &mut RecoveryReport) {}
+}
+
+/// Resolves a mode to its (stateless, static) mechanism.
+pub(crate) fn mechanism_of(mode: Mode) -> &'static dyn MetaMechanism {
+    match mode {
+        Mode::Baseline => &BaselineMech,
+        Mode::Thoth(_) => &ThothMech,
+        Mode::AnubisEcc => &AnubisEccMech,
+        Mode::Eadr => &EadrMech,
+        Mode::Phoenix => &PhoenixMech,
+        Mode::FreijStrict => &FreijMech { strict: true },
+        Mode::FreijLazy => &FreijMech { strict: false },
+    }
+}
+
+/// Strict persistence of counter + MAC blocks per data write (the
+/// paper's baseline: Anubis adapted to emerging interfaces).
+struct BaselineMech;
+
+impl MetaMechanism for BaselineMech {
+    fn extra_store_hash(&self) -> bool {
+        true
+    }
+
+    fn persist_store(
+        &self,
+        m: &mut SecureNvm,
+        t: &mut Cycle,
+        ack: &mut Cycle,
+        meta: StoreMeta,
+    ) -> MetaMech {
+        // Strict persistence: full counter + MAC blocks each write.
+        let ctr_img = meta.packed_ctr;
+        let mac_img = m.mac_cache.peek(meta.mb).expect("ensured").clone();
+        let a1 = m
+            .wpq
+            .insert(*t, meta.cb, Some(ctr_img), WriteCategory::CounterBlock, &mut m.nvm);
+        let a2 = m
+            .wpq
+            .insert(*t, meta.mb, Some(mac_img), WriteCategory::MacBlock, &mut m.nvm);
+        // NVM is now (logically) current: caches stay clean.
+        m.ctr_cache.clean(meta.cb);
+        m.mac_cache.clean(meta.mb);
+        *ack = (*ack).max(a1).max(a2);
+        MetaMech::InPlace
+    }
+
+    fn persist_reencrypt(&self, m: &mut SecureNvm, t: Cycle, meta: ReencryptMeta) -> MetaMech {
+        let mac_img = m.mac_cache.peek(meta.mb).expect("ensured").clone();
+        m.wpq
+            .insert(t, meta.mb, Some(mac_img), WriteCategory::MacBlock, &mut m.nvm);
+        m.mac_cache.clean(meta.mb);
+        MetaMech::InPlace
+    }
+}
+
+/// Thoth (either eviction policy): partial updates through the PCB/PUB.
+struct ThothMech;
+
+impl MetaMechanism for ThothMech {
+    fn shadow_tracked(&self) -> bool {
+        true
+    }
+
+    fn persist_store(
+        &self,
+        m: &mut SecureNvm,
+        t: &mut Cycle,
+        ack: &mut Cycle,
+        meta: StoreMeta,
+    ) -> MetaMech {
+        // Second-level MAC for the partial update.
+        *t += m.config.hash_cycles;
+        let mac2 = m.mac.second_level(meta.addr, &meta.first_mac);
+        m.ctr_cache
+            .mark_dirty(meta.cb, Some(m.layout.ctr_subblock(meta.index) % 64));
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        m.note_shadow_dirty(*t, meta.cb);
+        m.note_shadow_dirty(*t, meta.mb);
+        let pu = PartialUpdate {
+            block_index: meta.index as u32,
+            minor: meta.minor,
+            mac2,
+            ctr_status: !meta.ctr_was_dirty,
+            mac_status: !meta.mac_was_dirty,
+        };
+        // PCB-after-WPQ (Section IV-C): if both metadata blocks already
+        // have coalescable full-block entries pending in the WPQ, merge
+        // into those instead of using PCB space.
+        if m.config.pcb_arrangement == PcbArrangement::AfterWpq
+            && m.wpq.contains_coalescable(meta.cb)
+            && m.wpq.contains_coalescable(meta.mb)
+        {
+            let ctr_img = {
+                let groups = m.ctr_cache.peek(meta.cb).expect("ensured");
+                m.pack_ctr_block(groups)
+            };
+            let mac_img = m.mac_cache.peek(meta.mb).expect("ensured").clone();
+            m.wpq
+                .insert(*t, meta.cb, Some(ctr_img), WriteCategory::CounterBlock, &mut m.nvm);
+            m.wpq
+                .insert(*t, meta.mb, Some(mac_img), WriteCategory::MacBlock, &mut m.nvm);
+            m.ctr_cache.clean(meta.cb);
+            m.mac_cache.clean(meta.mb);
+            m.note_shadow_clean(*t, meta.cb);
+            m.note_shadow_clean(*t, meta.mb);
+            m.pcb_wpq_bypass += 1;
+            MetaMech::WpqMerge
+        } else {
+            *ack = (*ack).max(m.insert_partial_update(*t, pu));
+            MetaMech::Pcb
+        }
+    }
+
+    fn persist_reencrypt(&self, m: &mut SecureNvm, t: Cycle, meta: ReencryptMeta) -> MetaMech {
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        m.note_shadow_dirty(t, meta.mb);
+        let mac2 = m.mac.second_level(meta.addr, &meta.first_mac);
+        let pu = PartialUpdate {
+            block_index: meta.index as u32,
+            minor: meta.minor,
+            mac2,
+            // The counter block was just eagerly persisted (clean).
+            ctr_status: false,
+            mac_status: !meta.mac_was_dirty,
+        };
+        m.insert_partial_update(t, pu);
+        MetaMech::Pcb
+    }
+
+    fn recover_metadata(&self, m: &mut SecureNvm, t: &mut Cycle, report: &mut RecoveryReport) {
+        // Merge the PUB (oldest to youngest), timing the serial scan on
+        // the device model.
+        let Some(engine) = &m.thoth else { return };
+        let codec = engine.codec();
+        let scan = engine.recovery_scan();
+        report.pub_blocks_scanned = scan.len() as u64;
+        report.modeled_seconds = thoth_core::recovery::RecoveryCostModel::default()
+            .pub_recovery_secs(scan.len() as u64, codec.entries_per_block() as u64);
+        for block_addr in scan {
+            *t = m.nvm.time_access(*t, block_addr, false);
+            let entries = codec.decode(&m.nvm.read_block(block_addr));
+            for e in entries {
+                report.entries_examined += 1;
+                // Footnote 5's per-entry recipe: read ciphertext, counter
+                // and MAC blocks, two MAC levels, then the merge writes
+                // (charged inside merge_entry via the `Recovery` write
+                // category; timing charged here).
+                let index = u64::from(e.block_index);
+                let (cb, _, _) = m.layout.ctr_location(index);
+                let (mb, _) = m.layout.mac_location(index);
+                *t = (*t).max(m.nvm.time_access(*t, m.layout.block_addr(index), false));
+                *t = (*t).max(m.nvm.time_access(*t, cb, false));
+                *t = (*t).max(m.nvm.time_access(*t, mb, false));
+                *t += 2 * m.config.hash_cycles;
+                if m.merge_entry(&e) {
+                    report.entries_merged += 1;
+                    *t = (*t).max(m.nvm.time_access(*t, cb, true));
+                    *t = (*t).max(m.nvm.time_access(*t, mb, true));
+                } else {
+                    report.entries_stale += 1;
+                }
+            }
+        }
+        report.ctr_blocks_recovered = m.nvm.writes_in(WriteCategory::Recovery);
+    }
+}
+
+/// Ideal co-located-ECC Anubis: metadata rides along with the data write.
+struct AnubisEccMech;
+
+impl MetaMechanism for AnubisEccMech {
+    fn shadow_tracked(&self) -> bool {
+        true
+    }
+
+    fn persist_store(
+        &self,
+        m: &mut SecureNvm,
+        t: &mut Cycle,
+        _ack: &mut Cycle,
+        meta: StoreMeta,
+    ) -> MetaMech {
+        // Metadata rides along with data via ECC bits / MAC chip: caches
+        // dirty, persisted only through natural eviction.
+        m.ctr_cache
+            .mark_dirty(meta.cb, Some(m.layout.ctr_subblock(meta.index) % 64));
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        m.note_shadow_dirty(*t, meta.cb);
+        m.note_shadow_dirty(*t, meta.mb);
+        MetaMech::EccRideAlong
+    }
+
+    fn persist_reencrypt(&self, m: &mut SecureNvm, t: Cycle, meta: ReencryptMeta) -> MetaMech {
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        m.note_shadow_dirty(t, meta.mb);
+        MetaMech::EccRideAlong
+    }
+}
+
+/// Enhanced ADR: the whole cache hierarchy is in the persistence domain.
+struct EadrMech;
+
+impl MetaMechanism for EadrMech {
+    fn persist_store(
+        &self,
+        m: &mut SecureNvm,
+        t: &mut Cycle,
+        ack: &mut Cycle,
+        meta: StoreMeta,
+    ) -> MetaMech {
+        // The entire hierarchy is persistent: the store is durable the
+        // moment it executes; NVM traffic is eviction-driven.
+        m.ctr_cache
+            .mark_dirty(meta.cb, Some(m.layout.ctr_subblock(meta.index) % 64));
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        *ack = *t;
+        MetaMech::EadrDomain
+    }
+
+    fn persist_reencrypt(&self, m: &mut SecureNvm, _t: Cycle, meta: ReencryptMeta) -> MetaMech {
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        MetaMech::EadrDomain
+    }
+
+    fn crash_residual(&self, m: &mut SecureNvm) {
+        // eADR: residual power flushes every dirty cache line to NVM
+        // before the volatile state is lost.
+        let dirty_ctrs: Vec<(u64, Vec<u8>)> = m
+            .ctr_cache
+            .iter()
+            .filter(|(_, _, dirty, _)| *dirty)
+            .map(|(a, groups, _, _)| (a, m.pack_ctr_block(groups)))
+            .collect();
+        for (a, img) in dirty_ctrs {
+            m.nvm.write_block(a, &img, WriteCategory::CounterBlock);
+        }
+        let dirty_macs: Vec<(u64, Vec<u8>)> = m
+            .mac_cache
+            .iter()
+            .filter(|(_, _, dirty, _)| *dirty)
+            .map(|(a, img, _, _)| (a, img.clone()))
+            .collect();
+        for (a, img) in dirty_macs {
+            m.nvm.write_block(a, &img, WriteCategory::MacBlock);
+        }
+    }
+}
+
+/// Phoenix: the tree leaves (counter blocks) persist strictly with every
+/// store; the MAC region and the upper tree levels are *reconstructible*
+/// state, rebuilt at recovery from the persisted counters and ciphertext
+/// (arXiv:1911.01922 — MAC co-location with data is assumed, as in
+/// Osiris, so no separate strict MAC write is charged).
+struct PhoenixMech;
+
+impl MetaMechanism for PhoenixMech {
+    fn persist_store(
+        &self,
+        m: &mut SecureNvm,
+        t: &mut Cycle,
+        ack: &mut Cycle,
+        meta: StoreMeta,
+    ) -> MetaMech {
+        // Strict leaf-counter persistence; the MAC image stays lazy in
+        // cache (reconstructed at boot, so losing it is safe).
+        let a1 = m
+            .wpq
+            .insert(*t, meta.cb, Some(meta.packed_ctr), WriteCategory::CounterBlock, &mut m.nvm);
+        m.ctr_cache.clean(meta.cb);
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        *ack = (*ack).max(a1);
+        MetaMech::PhoenixLeaf
+    }
+
+    fn persist_reencrypt(&self, m: &mut SecureNvm, _t: Cycle, meta: ReencryptMeta) -> MetaMech {
+        // The overflow handler already persisted the counter block
+        // eagerly; the refreshed MAC stays lazy like every other.
+        m.mac_cache.mark_dirty(meta.mb, Some(meta.mslot % 64));
+        MetaMech::PhoenixLeaf
+    }
+
+    fn recover_metadata(&self, m: &mut SecureNvm, t: &mut Cycle, report: &mut RecoveryReport) {
+        // Reconstruct the first-level MAC region from the persisted
+        // ciphertext + counters: Phoenix's lazy levels are recomputable
+        // because the leaves are strictly persistent. Each written block
+        // costs a ciphertext read, a counter read (typically banked with
+        // neighbours) and one MAC-engine pass; only stale MAC images are
+        // written back.
+        let mac_len = m.layout.mac_len();
+        let mut indices: Vec<u64> = m.data_versions.keys().copied().collect();
+        indices.sort_unstable();
+        let mut rebuilt: FastSet<u64> = FastSet::default();
+        for index in indices {
+            let addr = m.layout.block_addr(index);
+            let (cb, group, slot) = m.layout.ctr_location(index);
+            let (mb, mslot) = m.layout.mac_location(index);
+            *t = (*t).max(m.nvm.time_access(*t, addr, false));
+            *t = (*t).max(m.nvm.time_access(*t, cb, false));
+            let groups = m.layout.ctr_geometry.unpack(&m.nvm.read_block(cb));
+            let (major, minor) = groups[group].value_of(slot);
+            let ct = m.nvm.read_block(addr);
+            let first = m.mac.first_level(addr, major, minor, &ct);
+            *t += m.config.hash_cycles;
+            let mut img = m.nvm.read_block(mb);
+            if img[mslot * mac_len..(mslot + 1) * mac_len] != first[..] {
+                img[mslot * mac_len..(mslot + 1) * mac_len].copy_from_slice(&first);
+                m.nvm.write_block(mb, &img, WriteCategory::Recovery);
+                *t = (*t).max(m.nvm.time_access(*t, mb, true));
+                rebuilt.insert(mb);
+            }
+        }
+        report.mac_blocks_recovered = rebuilt.len() as u64;
+    }
+}
+
+/// Freij et al.'s streamlined BMT updates: counter + MAC persist in
+/// place (as in the baseline, minus the extra last-level hash — the
+/// pipelined update absorbs it), while the updated tree path persists
+/// either strictly (streamed through the WPQ) or lazily (MT-cache
+/// eviction), per `strict`.
+struct FreijMech {
+    strict: bool,
+}
+
+impl MetaMechanism for FreijMech {
+    fn strict_tree_path(&self) -> bool {
+        self.strict
+    }
+
+    fn persist_store(
+        &self,
+        m: &mut SecureNvm,
+        t: &mut Cycle,
+        ack: &mut Cycle,
+        meta: StoreMeta,
+    ) -> MetaMech {
+        let mac_img = m.mac_cache.peek(meta.mb).expect("ensured").clone();
+        let a1 = m
+            .wpq
+            .insert(*t, meta.cb, Some(meta.packed_ctr), WriteCategory::CounterBlock, &mut m.nvm);
+        let a2 = m
+            .wpq
+            .insert(*t, meta.mb, Some(mac_img), WriteCategory::MacBlock, &mut m.nvm);
+        m.ctr_cache.clean(meta.cb);
+        m.mac_cache.clean(meta.mb);
+        *ack = (*ack).max(a1).max(a2);
+        if self.strict {
+            MetaMech::SubtreeStrict
+        } else {
+            MetaMech::SubtreeLazy
+        }
+    }
+
+    fn persist_reencrypt(&self, m: &mut SecureNvm, t: Cycle, meta: ReencryptMeta) -> MetaMech {
+        let mac_img = m.mac_cache.peek(meta.mb).expect("ensured").clone();
+        m.wpq
+            .insert(t, meta.mb, Some(mac_img), WriteCategory::MacBlock, &mut m.nvm);
+        m.mac_cache.clean(meta.mb);
+        if self.strict {
+            MetaMech::SubtreeStrict
+        } else {
+            MetaMech::SubtreeLazy
+        }
+    }
+}

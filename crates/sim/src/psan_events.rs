@@ -127,6 +127,15 @@ pub enum MetaMech {
     EccRideAlong,
     /// eADR: the whole cache hierarchy is in the persistence domain.
     EadrDomain,
+    /// Phoenix: the leaf counter block persisted strictly with the data;
+    /// MAC and upper tree levels are reconstructed at recovery.
+    PhoenixLeaf,
+    /// Freij strict subtree persistence: counter, MAC and the updated
+    /// tree-path nodes all stream through the WPQ with the data.
+    SubtreeStrict,
+    /// Freij lazy subtree persistence: counter and MAC persist in place;
+    /// tree nodes persist through natural eviction.
+    SubtreeLazy,
 }
 
 impl MetaMech {
@@ -139,6 +148,9 @@ impl MetaMech {
             MetaMech::WpqMerge => "wpq-merge",
             MetaMech::EccRideAlong => "ecc-ride-along",
             MetaMech::EadrDomain => "eadr-domain",
+            MetaMech::PhoenixLeaf => "phoenix-leaf",
+            MetaMech::SubtreeStrict => "subtree-strict",
+            MetaMech::SubtreeLazy => "subtree-lazy",
         }
     }
 }
@@ -228,6 +240,9 @@ mod tests {
             MetaMech::WpqMerge,
             MetaMech::EccRideAlong,
             MetaMech::EadrDomain,
+            MetaMech::PhoenixLeaf,
+            MetaMech::SubtreeStrict,
+            MetaMech::SubtreeLazy,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

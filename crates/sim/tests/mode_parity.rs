@@ -1,0 +1,101 @@
+//! Mode-parity regression: the metadata-persistence mechanism seam
+//! (`crates/sim/src/mechanism.rs`) must be an *observationally invisible*
+//! refactor for the four pre-existing modes. This test replays the exact
+//! quick headline matrix the perf digest gate pins (5 workloads ×
+//! {128, 256} B × 4 modes at scale 0.02, seed 0xC0FFEE) and folds the
+//! per-run digests the same way `thoth-experiments` does; the result must
+//! stay bit-identical to the golden digest through any mechanism change.
+//!
+//! The second test holds the *extension* mechanisms to the same
+//! reproducibility bar (self-parity), without pinning their digests —
+//! their schedules are allowed to evolve; the original four are not.
+
+use std::collections::BTreeMap;
+
+use thoth_sim::{run_trace, Mode, SimConfig, SimReport};
+use thoth_workloads::{spec, MultiCoreTrace, WorkloadConfig, WorkloadKind};
+
+/// The pinned digest of the quick headline matrix (see `ci.sh`'s perf
+/// gate and `CHANGES.md`): any drift here means an existing mode's
+/// behavior changed.
+const GOLDEN_QUICK_DIGEST: u64 = 0xaa9d_df0c_ed97_6c32;
+
+/// Mirrors `ExpSettings::quick()` + `ExpSettings::workload` in
+/// `thoth-experiments`: scale 0.02, seed 0xC0FFEE, tx 128 B, and the
+/// quick-mode footprint shrink.
+fn quick_trace(kind: WorkloadKind) -> MultiCoreTrace {
+    let mut cfg = WorkloadConfig::paper_default(kind).scaled(0.02);
+    cfg.tx_size = 128;
+    cfg.seed = 0xC0FFEE;
+    cfg.footprint = match kind {
+        WorkloadKind::Swap => 4,
+        WorkloadKind::Queue => 32,
+        _ => 10_000,
+    };
+    cfg.prepopulate = cfg.footprint / 2;
+    spec::generate(cfg)
+}
+
+/// Mirrors `headline::matrix_digest`: FNV-fold every run's digest under
+/// its key, in `BTreeMap` order.
+fn fold_digest(runs: &BTreeMap<(String, usize, String), SimReport>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for ((workload, block, mode), report) in runs {
+        mix(workload.as_bytes());
+        mix(&(*block as u64).to_le_bytes());
+        mix(mode.as_bytes());
+        mix(&report.digest().to_le_bytes());
+    }
+    h
+}
+
+fn run_matrix(modes: &[Mode]) -> BTreeMap<(String, usize, String), SimReport> {
+    let mut runs = BTreeMap::new();
+    for kind in WorkloadKind::ALL {
+        let trace = quick_trace(kind);
+        for block in [128usize, 256] {
+            for &mode in modes {
+                let report = run_trace(&SimConfig::paper_default(mode, block), &trace);
+                runs.insert(
+                    (kind.name().to_owned(), block, mode.label().to_owned()),
+                    report,
+                );
+            }
+        }
+    }
+    runs
+}
+
+#[test]
+fn existing_modes_reproduce_the_golden_quick_matrix_digest() {
+    let runs = run_matrix(&[
+        Mode::baseline(),
+        Mode::thoth_wtsc(),
+        Mode::thoth_wtbc(),
+        Mode::AnubisEcc,
+    ]);
+    assert_eq!(runs.len(), WorkloadKind::ALL.len() * 2 * 4);
+    assert_eq!(
+        fold_digest(&runs),
+        GOLDEN_QUICK_DIGEST,
+        "the mechanism seam changed an existing mode's observable behavior"
+    );
+}
+
+#[test]
+fn extension_modes_are_deterministic() {
+    let modes = [Mode::phoenix(), Mode::freij_strict(), Mode::freij_lazy()];
+    let trace = quick_trace(WorkloadKind::Hashmap);
+    for mode in modes {
+        let cfg = SimConfig::paper_default(mode, 128);
+        let a = run_trace(&cfg, &trace);
+        let b = run_trace(&cfg, &trace);
+        assert_eq!(a.digest(), b.digest(), "{} must replay identically", mode.label());
+        assert!(a.writes_total() > 0);
+    }
+}

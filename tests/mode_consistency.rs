@@ -20,7 +20,13 @@ fn tiny_trace(kind: WorkloadKind) -> MultiCoreTrace {
 fn fast_mode_is_observationally_identical_to_full() {
     for kind in [WorkloadKind::Btree, WorkloadKind::Hashmap, WorkloadKind::Swap] {
         let trace = tiny_trace(kind);
-        for mode in [Mode::baseline(), Mode::thoth_wtsc()] {
+        for mode in [
+            Mode::baseline(),
+            Mode::thoth_wtsc(),
+            Mode::phoenix(),
+            Mode::freij_strict(),
+            Mode::freij_lazy(),
+        ] {
             let mut full_cfg = SimConfig::paper_default(mode, 128);
             full_cfg.functional = FunctionalMode::Full;
             full_cfg.pub_size_bytes = 128 << 10;
@@ -56,6 +62,25 @@ fn recovery_is_clean_at_256_byte_blocks() {
         let rec = m.recover();
         assert!(rec.is_clean(), "{kind} @256B: {rec:?}");
         assert!(rec.blocks_verified > 0, "{kind}");
+    }
+}
+
+/// Each extension mechanism's recovery procedure (Phoenix rebuilds the
+/// first-level MAC region; freij-lazy replays dirty tree nodes) must
+/// also verify off the 128 B paper geometry.
+#[test]
+fn extension_mechanisms_recover_cleanly_at_256_byte_blocks() {
+    for mode in [Mode::phoenix(), Mode::freij_strict(), Mode::freij_lazy()] {
+        let mut cfg = SimConfig::paper_default(mode, 256);
+        cfg.functional = FunctionalMode::Full;
+        cfg.pub_size_bytes = 64 << 10;
+        cfg.pub_prefill = false;
+        let mut m = SecureNvm::new(cfg);
+        m.run(&tiny_trace(WorkloadKind::Btree));
+        m.crash();
+        let rec = m.recover();
+        assert!(rec.is_clean(), "{} @256B: {rec:?}", mode.label());
+        assert!(rec.blocks_verified > 0, "{}", mode.label());
     }
 }
 
