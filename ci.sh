@@ -47,7 +47,14 @@ echo "== perf digest gate (quick matrix must match the pinned digest) =="
 cargo run -q --release --locked -p thoth-experiments -- perf --quick \
     --expect-digest 0xaa9ddf0ced976c32
 
+echo "== perf digest gate (scale 0.1 — exercises batch shapes quick mode misses) =="
+cargo run -q --release --locked -p thoth-experiments -- perf --scale 0.1 \
+    --expect-digest 0x7a4d2eee8b41f3a6
+
 echo "== crypto with intrinsics disabled (thoth_soft_aes fallback must not rot) =="
 RUSTFLAGS="--cfg thoth_soft_aes" cargo test -q --locked -p thoth-crypto
+
+echo "== crypto with SIMD hashing disabled (thoth_soft_sip fallback must not rot) =="
+RUSTFLAGS="--cfg thoth_soft_sip" cargo test -q --locked -p thoth-crypto
 
 echo "ci: all green"

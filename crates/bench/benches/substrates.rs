@@ -57,6 +57,27 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(sip.hash(black_box(&[5u8; 64]))));
     });
 
+    // Head-to-head on the merkle/MAC row shape: the dispatched multi-lane
+    // batch kernel (AVX2 where the CPU has it) vs the forced-soft
+    // scalar-interleaved path, over a 64-row batch of 9-word rows (one
+    // dirty-parent set of an arity-8 tree level).
+    let rows: Vec<[u64; 9]> = (0..64u64)
+        .map(|i| std::array::from_fn(|j| i * 31 + j as u64))
+        .collect();
+    group.bench_function("siphash_simd_vs_scalar/dispatched-batch64", |b| {
+        b.iter(|| black_box(sip.hash_words_batch(black_box(&rows))));
+    });
+    let sip_soft = SipHash24::new_soft(1, 2);
+    group.bench_function("siphash_simd_vs_scalar/soft-batch64", |b| {
+        b.iter(|| black_box(sip_soft.hash_words_batch(black_box(&rows))));
+    });
+    group.bench_function("siphash_simd_vs_scalar/serial-batch64", |b| {
+        b.iter(|| {
+            let out: Vec<u64> = rows.iter().map(|r| sip.hash_words(black_box(r))).collect();
+            black_box(out)
+        });
+    });
+
     let ctr = CtrMode::new(b"0123456789abcdef");
     group.bench_function("ctr-encrypt-128B-block", |b| {
         b.iter(|| black_box(ctr.encrypt(0x1000, 3, 4, black_box(&[9u8; 128]))));

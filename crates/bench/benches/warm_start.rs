@@ -1,0 +1,49 @@
+//! Bench target for warm-start snapshots: a cold [`SecureNvm::run`]
+//! (warm-up + measured phases) head-to-head against [`WarmBoot::run`]
+//! (clone the post-prefill boundary image, replay only the measured
+//! phase). The gap is the warm-up cost a repeated-measurement harness
+//! saves per run; bit-identity of the two paths is pinned by the
+//! `warm_start` test suite in `thoth-sim`, and asserted once here.
+
+use thoth_bench::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use thoth_experiments::runner::ExpSettings;
+use thoth_sim::{Mode, SecureNvm, SimConfig};
+use thoth_workloads::{spec, WorkloadKind};
+
+fn bench(c: &mut Criterion) {
+    let settings = ExpSettings::quick();
+    let trace = spec::generate(settings.workload(WorkloadKind::Btree, 128));
+    let config = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
+
+    let boot = SecureNvm::new(config.clone()).warm_boot(&trace);
+    let cold = {
+        let mut m = SecureNvm::new(config.clone());
+        m.run(&trace)
+    };
+    assert_eq!(
+        cold.digest(),
+        boot.run(&trace).digest(),
+        "warm path must simulate the identical machine"
+    );
+
+    let mut group = c.benchmark_group("prefill_warm_vs_cold");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("cold-btree-thoth-wtsc", |b| {
+        b.iter(|| {
+            let mut m = SecureNvm::new(config.clone());
+            black_box(m.run(&trace))
+        });
+    });
+    group.bench_function("warm-btree-thoth-wtsc", |b| {
+        b.iter(|| black_box(boot.run(&trace)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -128,11 +128,17 @@ impl CacheStats {
 ///
 /// Addresses are block-aligned internally; callers may pass any byte
 /// address within the block.
+#[derive(Clone)]
 pub struct SetAssocCache<V> {
     config: CacheConfig,
     sets: Vec<Vec<Line<V>>>,
     tick: u64,
     stats: CacheStats,
+    /// `(log2(block_bytes), num_sets - 1)` when both are powers of two —
+    /// the usual geometry. Lets every probe replace its two hardware
+    /// divisions with a shift and a mask, which matters because the
+    /// simulator's hot paths take tens of cache probes per simulated op.
+    pow2: Option<(u32, u64)>,
 }
 
 impl<V> SetAssocCache<V> {
@@ -140,11 +146,19 @@ impl<V> SetAssocCache<V> {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let sets = (0..config.num_sets()).map(|_| Vec::new()).collect();
+        let pow2 = (config.block_bytes.is_power_of_two() && config.num_sets().is_power_of_two())
+            .then(|| {
+                (
+                    config.block_bytes.trailing_zeros(),
+                    config.num_sets() as u64 - 1,
+                )
+            });
         SetAssocCache {
             config,
             sets,
             tick: 0,
             stats: CacheStats::default(),
+            pow2,
         }
     }
 
@@ -161,11 +175,20 @@ impl<V> SetAssocCache<V> {
     }
 
     fn align(&self, addr: u64) -> u64 {
-        addr - addr % self.config.block_bytes as u64
+        match self.pow2 {
+            Some((shift, _)) => addr >> shift << shift,
+            None => addr - addr % self.config.block_bytes as u64,
+        }
     }
 
     fn set_index(&self, block_addr: u64) -> usize {
-        ((block_addr / self.config.block_bytes as u64) % self.config.num_sets() as u64) as usize
+        match self.pow2 {
+            Some((shift, mask)) => ((block_addr >> shift) & mask) as usize,
+            None => {
+                ((block_addr / self.config.block_bytes as u64) % self.config.num_sets() as u64)
+                    as usize
+            }
+        }
     }
 
     fn bump(&mut self) -> u64 {

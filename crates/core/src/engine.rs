@@ -51,6 +51,7 @@ pub trait ThothHost {
 }
 
 /// The Thoth mechanism: PCB + PUB + eviction policy.
+#[derive(Clone)]
 pub struct ThothEngine {
     pcb: Pcb,
     pub_buf: PubBuffer,

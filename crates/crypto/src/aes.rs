@@ -596,10 +596,10 @@ mod tests {
 
     #[test]
     fn te_tables_are_rotations_of_te0() {
-        for i in 0..256 {
-            assert_eq!(TE[1][i], TE[0][i].rotate_right(8));
-            assert_eq!(TE[2][i], TE[0][i].rotate_right(16));
-            assert_eq!(TE[3][i], TE[0][i].rotate_right(24));
+        for (i, &t0) in TE[0].iter().enumerate() {
+            assert_eq!(TE[1][i], t0.rotate_right(8));
+            assert_eq!(TE[2][i], t0.rotate_right(16));
+            assert_eq!(TE[3][i], t0.rotate_right(24));
         }
     }
 

@@ -32,4 +32,4 @@ pub use aes::{Aes128, AesBackend};
 pub use counter::{CounterBlock, CounterGroup, MINOR_COUNTER_BITS, MINOR_COUNTER_MAX};
 pub use ctr::{BlockCipherPad, CtrMode};
 pub use mac::{MacEngine, MacKey};
-pub use siphash::{SipHash24, SipWordStream};
+pub use siphash::{SipBackend, SipHash24, SipWordStream};

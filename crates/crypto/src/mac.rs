@@ -52,6 +52,8 @@ pub struct MacEngine {
     sip: SipHash24,
     /// Invocations of the multi-lane batched hash kernel (telemetry).
     batch_runs: Cell<u64>,
+    /// Rows hashed by the vector (AVX2) batch kernel (telemetry).
+    simd_rows: Cell<u64>,
 }
 
 /// Bytes of ciphertext covered by each 8-byte first-level MAC word.
@@ -64,6 +66,7 @@ impl MacEngine {
         MacEngine {
             sip: SipHash24::from_key_bytes(&key.0),
             batch_runs: Cell::new(0),
+            simd_rows: Cell::new(0),
         }
     }
 
@@ -141,6 +144,8 @@ impl MacEngine {
     #[must_use]
     pub fn raw_hash_words_batch<const W: usize>(&self, rows: &[[u64; W]]) -> Vec<u64> {
         self.batch_runs.set(self.batch_runs.get() + 1);
+        self.simd_rows
+            .set(self.simd_rows.get() + self.sip.simd_rows_of(rows.len()));
         self.sip.hash_words_batch(rows)
     }
 
@@ -148,6 +153,13 @@ impl MacEngine {
     #[must_use]
     pub fn batch_runs(&self) -> u64 {
         self.batch_runs.get()
+    }
+
+    /// Rows hashed by the vector batch kernel so far (telemetry); 0 on
+    /// the scalar backend.
+    #[must_use]
+    pub fn simd_rows(&self) -> u64 {
+        self.simd_rows.get()
     }
 }
 

@@ -116,10 +116,23 @@ pub struct WpqStats {
 /// wpq.insert(Cycle(5), 0x1000, Some(vec![2; 128]), WriteCategory::Data, &mut nvm);
 /// assert_eq!(wpq.stats().coalesced, 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Wpq {
     config: WpqConfig,
+    /// Invariant: a committed prefix (`entries[..committed]`, all with
+    /// `drain_done = Some`) followed by an uncommitted suffix. Commits
+    /// only ever extend the prefix, inserts push uncommitted entries to
+    /// the back, and retirement removes only committed entries — so the
+    /// split never interleaves, and the hot paths (coalesce lookup, read
+    /// forwarding) scan only the suffix.
     entries: VecDeque<Entry>,
+    /// Length of the committed prefix of `entries`.
+    committed: usize,
+    /// Earliest `drain_done` among committed entries (`None` when the
+    /// prefix is empty) — lets [`Self::retire`] skip its scan entirely
+    /// while no committed drain has completed yet, which is the common
+    /// case on every insert.
+    earliest_done: Option<Cycle>,
     stats: WpqStats,
     /// Cleared by the crash flush; inserting into an unpowered queue is a
     /// model bug (volatile state used after the machine died), so it
@@ -151,6 +164,8 @@ impl Wpq {
         Wpq {
             config,
             entries: VecDeque::new(),
+            committed: 0,
+            earliest_done: None,
             stats: WpqStats::default(),
             powered: true,
             events: None,
@@ -243,7 +258,8 @@ impl Wpq {
     pub fn contains_coalescable(&self, addr: u64) -> bool {
         self.entries
             .iter()
-            .any(|e| e.addr == addr && e.drain_done.is_none())
+            .skip(self.committed)
+            .any(|e| e.addr == addr)
     }
 
     /// Read forwarding: the payload of the pending (uncommitted) write to
@@ -258,14 +274,55 @@ impl Wpq {
     pub fn forward(&self, addr: u64) -> Option<&Vec<u8>> {
         self.entries
             .iter()
-            .find(|e| e.addr == addr && e.drain_done.is_none())
+            .skip(self.committed)
+            .find(|e| e.addr == addr)
             .and_then(|e| e.payload.as_ref())
     }
 
-    /// Removes entries whose drains completed by `now`.
+    /// Removes entries whose drains completed by `now`. Costs one compare
+    /// against the earliest committed completion unless something is
+    /// actually due; the uncommitted suffix is never scanned.
     fn retire(&mut self, now: Cycle) {
-        self.entries
-            .retain(|e| e.drain_done.is_none_or(|d| d > now));
+        if self.earliest_done.is_none_or(|d| d > now) {
+            return;
+        }
+        let mut i = 0;
+        while i < self.committed {
+            if self.entries[i].drain_done.expect("committed prefix") <= now {
+                self.entries.remove(i);
+                self.committed -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        self.recompute_earliest();
+    }
+
+    fn recompute_earliest(&mut self) {
+        self.earliest_done = self
+            .entries
+            .iter()
+            .take(self.committed)
+            .map(|e| e.drain_done.expect("committed prefix"))
+            .min();
+    }
+
+    /// Commits the uncommitted entries in `committed..commit_upto`,
+    /// extending the committed prefix.
+    fn commit_prefix(&mut self, commit_upto: usize, now: Cycle, nvm: &mut NvmDevice) {
+        for i in self.committed..commit_upto {
+            let e = &mut self.entries[i];
+            debug_assert!(e.drain_done.is_none(), "suffix must be uncommitted");
+            Self::commit(e, now, nvm);
+            let done = e.drain_done.expect("just committed");
+            let (addr, origins) = (e.addr, e.origin_mask);
+            if self.earliest_done.is_none_or(|d| done < d) {
+                self.earliest_done = Some(done);
+            }
+            self.stats.drained += 1;
+            self.note_event(WpqEvent::Drained { addr, origins });
+        }
+        self.committed = self.committed.max(commit_upto);
     }
 
     /// Commits unscheduled entries to NVM writes while occupancy is at or
@@ -276,15 +333,7 @@ impl Wpq {
             return;
         }
         let commit_upto = self.entries.len() - self.config.low_watermark.min(self.entries.len());
-        for i in 0..commit_upto {
-            let e = &mut self.entries[i];
-            if e.drain_done.is_none() {
-                Self::commit(e, now, nvm);
-                let (addr, origins) = (e.addr, e.origin_mask);
-                self.stats.drained += 1;
-                self.note_event(WpqEvent::Drained { addr, origins });
-            }
-        }
+        self.commit_prefix(commit_upto, now, nvm);
     }
 
     /// Issues the NVM write for one entry (functional + timing).
@@ -319,7 +368,8 @@ impl Wpq {
         if let Some(e) = self
             .entries
             .iter_mut()
-            .find(|e| e.addr == addr && e.drain_done.is_none())
+            .skip(self.committed)
+            .find(|e| e.addr == addr)
         {
             e.payload = payload;
             e.category = category;
@@ -342,20 +392,9 @@ impl Wpq {
             // wait for the earliest completion.
             let keep = self.config.low_watermark.min(self.config.capacity - 1);
             let commit_upto = self.entries.len() - keep;
-            for i in 0..commit_upto {
-                let e = &mut self.entries[i];
-                if e.drain_done.is_none() {
-                    Self::commit(e, now, nvm);
-                    let (drained, origins) = (e.addr, e.origin_mask);
-                    self.stats.drained += 1;
-                    self.note_event(WpqEvent::Drained { addr: drained, origins });
-                }
-            }
+            self.commit_prefix(commit_upto, now, nvm);
             let first_free = self
-                .entries
-                .iter()
-                .filter_map(|e| e.drain_done)
-                .min()
+                .earliest_done
                 .expect("full queue has committed entries");
             self.stats.full_stalls += 1;
             self.stats.stall_cycles += first_free.saturating_since(now);
@@ -383,18 +422,14 @@ impl Wpq {
     /// Commits and retires everything — used at the end of a measured run
     /// so final write counts include pending entries.
     pub fn drain_all(&mut self, now: Cycle, nvm: &mut NvmDevice) -> Cycle {
+        self.commit_prefix(self.entries.len(), now, nvm);
         let mut last = now;
-        for i in 0..self.entries.len() {
-            let e = &mut self.entries[i];
-            if e.drain_done.is_none() {
-                Self::commit(e, now, nvm);
-                let (addr, origins) = (e.addr, e.origin_mask);
-                self.stats.drained += 1;
-                self.note_event(WpqEvent::Drained { addr, origins });
-            }
-            last = last.max(self.entries[i].drain_done.expect("just committed"));
+        for e in &self.entries {
+            last = last.max(e.drain_done.expect("just committed"));
         }
         self.entries.clear();
+        self.committed = 0;
+        self.earliest_done = None;
         self.note_occupancy();
         last
     }
@@ -416,6 +451,8 @@ impl Wpq {
     /// simulating a platform whose ADR guarantee is broken.
     pub fn crash_flush_with(&mut self, nvm: &mut NvmDevice, faults: &FaultConfig) {
         self.powered = false;
+        self.committed = 0;
+        self.earliest_done = None;
         let mut rng = DetRng::seed_from(faults.seed ^ 0x7707_ADF1_05FA_u64);
         for e in self.entries.drain(..) {
             if e.drain_done.is_some() {

@@ -109,6 +109,13 @@ pub struct BonsaiTree {
     default: Vec<u64>,
     /// Invocations of the multi-lane batched hash kernel (telemetry).
     batch_runs: u64,
+    /// Rows hashed by the vector (AVX2) batch kernel (telemetry).
+    simd_rows: u64,
+    /// Leaf updates queued by [`Self::update_leaf_deferred`] and not yet
+    /// folded into the tree. Observers require an empty queue (callers
+    /// [`Self::flush`] first); final state is order-identical because
+    /// [`Self::update_leaves`] applies last-write-wins per leaf.
+    pending: Vec<(u64, u64)>,
 }
 
 /// The default (all-zero-subtree) leaf hash input.
@@ -117,6 +124,10 @@ const DEFAULT_LEAF: u64 = 0;
 /// Largest arity the inline children arrays support (the paper's trees
 /// are 8-ary; a 64 B node holds eight 8 B hashes).
 const MAX_ARITY: usize = 8;
+
+/// Queued deferred updates auto-flush at this size to bound memory; the
+/// limit is large enough that hot counter-block leaves dedup well.
+const PENDING_FLUSH_LIMIT: usize = 1 << 16;
 
 impl BonsaiTree {
     /// Creates a tree over `config.num_leaves` default leaves, keyed by
@@ -150,6 +161,8 @@ impl BonsaiTree {
             root_hash: default[(levels - 1) as usize],
             default,
             batch_runs: 0,
+            simd_rows: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -180,9 +193,11 @@ impl BonsaiTree {
         self.levels
     }
 
-    /// The current root hash (always up to date).
+    /// The current root hash (up to date once deferred updates are
+    /// flushed).
     #[must_use]
     pub fn root(&self) -> u64 {
+        debug_assert!(self.pending.is_empty(), "root read with deferred updates");
         self.root_hash
     }
 
@@ -192,6 +207,7 @@ impl BonsaiTree {
     /// root keeps a dedicated field.
     #[must_use]
     pub fn hash_of(&self, id: NodeId) -> u64 {
+        debug_assert!(self.pending.is_empty(), "node read with deferred updates");
         assert!(id.level < self.levels, "level {} out of range", id.level);
         if id.level == self.levels - 1 {
             return if id.index == 0 {
@@ -263,6 +279,46 @@ impl BonsaiTree {
         }
         self.root_hash = child_hash;
         path
+    }
+
+    /// Queues a leaf update without recomputing the path. The store path
+    /// is hash-latency bound when every update rehashes its path eagerly;
+    /// deferring lets [`Self::flush`] fold a whole burst through
+    /// [`Self::update_leaves`], which dedups shared parents and feeds
+    /// full-arity rows to the multi-lane kernel. Callers that observe the
+    /// tree (root, node hashes, verification) must flush first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (same check as
+    /// [`Self::update_leaf`], so mis-addressed stores still fail at the
+    /// store, not at some later flush).
+    pub fn update_leaf_deferred(&mut self, index: u64, leaf_hash: u64) {
+        assert!(
+            index < self.config.num_leaves,
+            "leaf {index} out of range ({} leaves)",
+            self.config.num_leaves
+        );
+        self.pending.push((index, leaf_hash));
+        if self.pending.len() >= PENDING_FLUSH_LIMIT {
+            self.flush();
+        }
+    }
+
+    /// Folds all queued [`Self::update_leaf_deferred`] updates into the
+    /// tree. No-op when the queue is empty.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.update_leaves(pending);
+    }
+
+    /// Whether deferred leaf updates are still queued.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Batched [`Self::update_leaf`]: applies every `(leaf_index, hash)`
@@ -357,6 +413,7 @@ impl BonsaiTree {
         let mut hashes = self.hasher.hash_words_batch(&rows);
         hashes.extend(dirty[split..].iter().map(|&p| scalar(p)));
         self.batch_runs += 1;
+        self.simd_rows += self.hasher.simd_rows_of(rows.len());
         hashes
     }
 
@@ -364,6 +421,13 @@ impl BonsaiTree {
     #[must_use]
     pub fn batch_runs(&self) -> u64 {
         self.batch_runs
+    }
+
+    /// Rows hashed by the vector batch kernel so far (telemetry); 0 on
+    /// the scalar backend.
+    #[must_use]
+    pub fn simd_rows(&self) -> u64 {
+        self.simd_rows
     }
 
     /// The leaf hash for a counter-block image (binds the block address).
@@ -380,6 +444,7 @@ impl BonsaiTree {
     /// rebuilding, the root must match the processor's persistent root.
     #[must_use]
     pub fn verify_leaf(&self, index: u64, leaf_hash: u64) -> bool {
+        debug_assert!(self.pending.is_empty(), "verify with deferred updates");
         if index >= self.config.num_leaves || self.hash_of(NodeId { level: 0, index }) != leaf_hash
         {
             return false;
@@ -581,6 +646,49 @@ mod tests {
             }
         }
         assert_eq!(inc.materialized_nodes(), bat.materialized_nodes());
+    }
+
+    #[test]
+    fn deferred_updates_match_eager_after_flush() {
+        let updates: Vec<(u64, u64)> = (0..200u64)
+            .map(|i| (i * 13 % 90, i.wrapping_mul(0x9e37_79b9) ^ 5))
+            .collect();
+        let mut eager = tree(90);
+        for &(i, h) in &updates {
+            eager.update_leaf(i, h);
+        }
+        let mut def = tree(90);
+        for &(i, h) in &updates {
+            def.update_leaf_deferred(i, h);
+        }
+        assert!(def.has_pending());
+        def.flush();
+        assert!(!def.has_pending());
+        assert_eq!(eager.root(), def.root());
+        for level in 0..eager.levels() {
+            for index in 0..eager.config().nodes_at(level) {
+                let id = NodeId { level, index };
+                assert_eq!(eager.hash_of(id), def.hash_of(id), "{id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_auto_flushes_at_limit() {
+        let mut eager = tree(100);
+        let mut def = tree(100);
+        for i in 0..(1u64 << 16) {
+            eager.update_leaf(i % 100, i + 1);
+            def.update_leaf_deferred(i % 100, i + 1);
+        }
+        assert!(!def.has_pending(), "queue auto-flushes at the limit");
+        assert_eq!(eager.root(), def.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn deferred_out_of_range_panics_at_enqueue() {
+        tree(10).update_leaf_deferred(10, 0);
     }
 
     #[test]

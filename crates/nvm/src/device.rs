@@ -73,7 +73,7 @@ impl NvmConfig {
 /// let done2 = nvm.time_access(Cycle(0), 0x1000, true); // same bank: serialized
 /// assert_eq!(done2, Cycle(4000));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NvmDevice {
     config: NvmConfig,
     /// Sparse block store: block-aligned address -> fixed-size block image.

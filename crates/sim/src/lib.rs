@@ -38,7 +38,7 @@ pub use config::{FunctionalMode, Mode, PcbArrangement, SimConfig};
 pub use crash::{CrashControl, CrashPlan, CrashSiteCounts, CrashSiteKind, LoggedOp};
 pub use diagnostics::{byte_digest, CrashDiagnostics, LeafMismatch, MacMismatch};
 pub use layout::MemoryLayout;
-pub use machine::SecureNvm;
+pub use machine::{SecureNvm, WarmBoot};
 pub use psan_events::{MetaMech, PersistEvent, PersistEventKind, PsanRecorder, NO_CTX};
 pub use report::{RecoveryReport, SimReport};
 pub use service::{ServiceReport, ServiceSession};

@@ -88,7 +88,8 @@ fn substrate_counters_present_and_neutral() {
     }
 
     // Fast functional mode fabricates first-level MACs through the
-    // batched hash kernel, so `hash_batch_runs` fires there.
+    // batched hash kernel, so `hash_batch_runs` fires there; on AVX2
+    // hosts those batches also drive multi-lane SipHash rows.
     let config = SimConfig::paper_default(Mode::thoth_wtsc(), 128);
     let plain = run_trace(&config, &trace);
     let mut machine = SecureNvm::new(config);
@@ -97,6 +98,26 @@ fn substrate_counters_present_and_neutral() {
     assert!(
         telem.registry.counter_value("hash_batch_runs").unwrap_or(0) > 0,
         "batched hashing never fired"
+    );
+    let count = |name: &str| {
+        telem
+            .registry
+            .counter_value(name)
+            .unwrap_or_else(|| panic!("{name} counter must be registered"))
+    };
+    if thoth_crypto::SipHash24::new(0, 0).backend() == thoth_crypto::SipBackend::SimdAvx2 {
+        assert!(count("sip_simd_rows") > 0, "SIMD hash lanes never engaged");
+    }
+    // Instrumented runs are always cold machines, and this test drives
+    // the machine directly (no job scheduler) — both harness counters
+    // must be registered, harvested, and zero here. The nonzero paths
+    // are covered by the warm-start tests and the runner's LPT tests.
+    assert_eq!(count("warm_starts"), 0, "telemetry runs never warm-start");
+    let lpt = count("jobs_lpt_reordered");
+    assert_eq!(
+        lpt,
+        thoth_telemetry::progress::jobs_lpt_reordered(),
+        "LPT harvest mirrors the process-wide scheduler counter"
     );
 }
 

@@ -7,7 +7,27 @@
 
 use std::fmt::Debug;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Process-wide count of jobs the experiments runner's longest-
+/// processing-time-first scheduler moved ahead of their submission slot.
+/// Lives here (not in the runner) so instrumented runs can harvest it as
+/// the `jobs_lpt_reordered` telemetry counter without a dependency from
+/// the simulator on the experiment harness.
+static JOBS_LPT_REORDERED: AtomicU64 = AtomicU64::new(0);
+
+/// Records `n` more LPT-reordered jobs.
+pub fn note_jobs_lpt_reordered(n: u64) {
+    // Monotone statistic harvested once at session end; orders nothing.
+    JOBS_LPT_REORDERED.fetch_add(n, Ordering::Relaxed); // thoth-lint: allow(relaxed-atomic)
+}
+
+/// Total jobs moved by the LPT scheduler since process start.
+#[must_use]
+pub fn jobs_lpt_reordered() -> u64 {
+    JOBS_LPT_REORDERED.load(Ordering::Relaxed) // thoth-lint: allow(relaxed-atomic)
+}
 
 /// Where progress lines go.
 #[derive(Debug)]
@@ -19,10 +39,25 @@ pub enum ProgressSink {
 }
 
 impl ProgressSink {
-    /// Reports one finished job out of `total`.
-    pub fn job_done<K: Debug>(&mut self, done: usize, total: usize, key: &K, elapsed: Duration) {
+    /// Reports one finished job out of `total`. `estimate` is the
+    /// scheduler's predicted wall time for the job (from its cost model,
+    /// calibrated on the batch's completed jobs); `None` before any
+    /// calibration exists. Printing both makes cost-model drift visible
+    /// in the progress stream itself.
+    pub fn job_done<K: Debug>(
+        &mut self,
+        done: usize,
+        total: usize,
+        key: &K,
+        elapsed: Duration,
+        estimate: Option<Duration>,
+    ) {
+        let est = match estimate {
+            Some(e) => format!("est {e:.2?}"),
+            None => "est n/a".to_owned(),
+        };
         self.line(format!(
-            "[thoth-experiments] job {done}/{total} {key:?} finished in {elapsed:.2?}"
+            "[thoth-experiments] job {done}/{total} {key:?} finished in {elapsed:.2?} ({est})"
         ));
     }
 
@@ -55,11 +90,35 @@ mod tests {
     #[test]
     fn capture_records_formatted_lines() {
         let mut sink = ProgressSink::Capture(Vec::new());
-        sink.job_done(2, 10, &("btree", 64), Duration::from_millis(1500));
+        sink.job_done(2, 10, &("btree", 64), Duration::from_millis(1500), None);
         assert_eq!(sink.lines().len(), 1);
         let line = &sink.lines()[0];
         assert!(line.starts_with("[thoth-experiments] job 2/10 (\"btree\", 64) finished in "));
         assert!(line.contains("1.50s"));
+        assert!(line.contains("(est n/a)"), "uncalibrated jobs say so: {line}");
+    }
+
+    #[test]
+    fn estimates_appear_next_to_actuals() {
+        let mut sink = ProgressSink::Capture(Vec::new());
+        sink.job_done(
+            3,
+            10,
+            &"swap",
+            Duration::from_millis(250),
+            Some(Duration::from_millis(230)),
+        );
+        let line = &sink.lines()[0];
+        assert!(line.contains("finished in 250"));
+        assert!(line.contains("(est 230"), "estimate printed: {line}");
+    }
+
+    #[test]
+    fn lpt_counter_accumulates() {
+        let before = jobs_lpt_reordered();
+        note_jobs_lpt_reordered(3);
+        note_jobs_lpt_reordered(2);
+        assert_eq!(jobs_lpt_reordered() - before, 5);
     }
 
     #[test]
